@@ -1,0 +1,209 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (one per artifact, at reduced scale so `go test -bench=.`
+// completes in minutes), plus micro-benchmarks of the core algorithms.
+//
+// Regenerate any artifact at paper scale with:
+//
+//	go run ./cmd/experiments -run <id>
+package sprintgame
+
+import (
+	"io"
+	"testing"
+
+	"sprintgame/internal/core"
+	"sprintgame/internal/dist"
+	"sprintgame/internal/executor"
+	"sprintgame/internal/experiments"
+	"sprintgame/internal/policy"
+	"sprintgame/internal/sim"
+	"sprintgame/internal/stats"
+	"sprintgame/internal/workload"
+)
+
+// benchArtifact runs one experiment generator per iteration and renders
+// it to io.Discard, reporting errors through b.
+func benchArtifact(b *testing.B, id string) {
+	b.Helper()
+	gen, ok := experiments.Registry()[id]
+	if !ok {
+		b.Fatalf("no generator for %s", id)
+	}
+	opts := experiments.Options{Seed: 1, Quick: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := gen(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rep.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per paper artifact.
+
+func BenchmarkTable1WorkloadCatalog(b *testing.B)         { benchArtifact(b, "table1") }
+func BenchmarkTable2Defaults(b *testing.B)                { benchArtifact(b, "table2") }
+func BenchmarkFigure1SprintCharacterization(b *testing.B) { benchArtifact(b, "fig1") }
+func BenchmarkFigure2TripCurve(b *testing.B)              { benchArtifact(b, "fig2") }
+func BenchmarkFigure3TripProbability(b *testing.B)        { benchArtifact(b, "fig3") }
+func BenchmarkFigure5StateChain(b *testing.B)             { benchArtifact(b, "fig5") }
+func BenchmarkFigure6SprintTimeline(b *testing.B)         { benchArtifact(b, "fig6") }
+func BenchmarkFigure7StateBreakdown(b *testing.B)         { benchArtifact(b, "fig7") }
+func BenchmarkFigure8SingleAppPerformance(b *testing.B)   { benchArtifact(b, "fig8") }
+func BenchmarkFigure9MixedAppPerformance(b *testing.B)    { benchArtifact(b, "fig9") }
+func BenchmarkFigure10UtilityDensities(b *testing.B)      { benchArtifact(b, "fig10") }
+func BenchmarkFigure11SprintProbability(b *testing.B)     { benchArtifact(b, "fig11") }
+func BenchmarkFigure12Efficiency(b *testing.B)            { benchArtifact(b, "fig12") }
+func BenchmarkFigure13Sensitivity(b *testing.B)           { benchArtifact(b, "fig13") }
+
+// Extension and ablation experiments (DESIGN.md §5).
+
+func BenchmarkExtAdaptiveLearning(b *testing.B)   { benchArtifact(b, "ext-adaptive") }
+func BenchmarkExtCoopMulti(b *testing.B)          { benchArtifact(b, "ext-coopmulti") }
+func BenchmarkExtDeviation(b *testing.B)          { benchArtifact(b, "ext-deviation") }
+func BenchmarkExtFolkTheorem(b *testing.B)        { benchArtifact(b, "ext-folk") }
+func BenchmarkExtMisreport(b *testing.B)          { benchArtifact(b, "ext-misreport") }
+func BenchmarkExtPhysicalRack(b *testing.B)       { benchArtifact(b, "ext-physical") }
+func BenchmarkExtPhysicalGame(b *testing.B)       { benchArtifact(b, "ext-physgame") }
+func BenchmarkAblationTripModel(b *testing.B)     { benchArtifact(b, "abl-tripmodel") }
+func BenchmarkAblationDamping(b *testing.B)       { benchArtifact(b, "abl-damping") }
+func BenchmarkAblationDensityBins(b *testing.B)   { benchArtifact(b, "abl-bins") }
+func BenchmarkAblationRecoveryModel(b *testing.B) { benchArtifact(b, "abl-recovery") }
+func BenchmarkAblationHeavyTails(b *testing.B)    { benchArtifact(b, "abl-tails") }
+func BenchmarkAblationDiscounting(b *testing.B)   { benchArtifact(b, "abl-discount") }
+func BenchmarkAblationOnlinePred(b *testing.B)    { benchArtifact(b, "abl-onlinepred") }
+func BenchmarkAblationPredictor(b *testing.B)     { benchArtifact(b, "abl-predictor") }
+
+// Micro-benchmarks of the core algorithms.
+
+func decisionDensity(b *testing.B) *dist.Discrete {
+	b.Helper()
+	bench, err := workload.ByName("decision")
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := bench.DiscreteDensity(250)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkSolveBellman measures one dynamic-program solve (Eqs. 1-8),
+// the inner loop of Algorithm 1.
+func BenchmarkSolveBellman(b *testing.B) {
+	f := decisionDensity(b)
+	cfg := core.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveBellman(f, 0.1, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFindEquilibrium measures a full Algorithm 1 run — the paper
+// reports its coordinator completes in under 10 s on a laptop-class CPU.
+func BenchmarkFindEquilibrium(b *testing.B) {
+	f := decisionDensity(b)
+	cfg := core.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SingleClass("decision", f, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCooperativeSearch measures the exhaustive C-T threshold
+// search.
+func BenchmarkCooperativeSearch(b *testing.B) {
+	f := decisionDensity(b)
+	cfg := core.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CooperativeThreshold(f, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatedEpoch measures rack simulation throughput in
+// agent-epochs per operation (1000 agents x 100 epochs per iteration).
+func BenchmarkSimulatedEpoch(b *testing.B) {
+	bench, err := workload.ByName("decision")
+	if err != nil {
+		b.Fatal(err)
+	}
+	game := core.DefaultConfig()
+	cfg := sim.Config{
+		Epochs: 100,
+		Seed:   1,
+		Game:   game,
+		Groups: []sim.Group{{Class: "decision", Count: game.N, Bench: bench}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		if _, err := sim.Run(cfg, policy.NewGreedy(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceGeneration measures per-epoch utility generation.
+func BenchmarkTraceGeneration(b *testing.B) {
+	bench, err := workload.ByName("pagerank")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := workload.NewTraceGenerator(bench, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Next()
+	}
+}
+
+// BenchmarkExecutorRun measures a full Spark-like application execution.
+func BenchmarkExecutorRun(b *testing.B) {
+	bench, err := workload.ByName("decision")
+	if err != nil {
+		b.Fatal(err)
+	}
+	app, err := executor.AppForBenchmark(bench, 10, stats.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := executor.Run(app, executor.Sprint, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKDE measures kernel density evaluation over a profiled trace.
+func BenchmarkKDE(b *testing.B) {
+	bench, err := workload.ByName("pagerank")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := workload.NewTraceGenerator(bench, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	kde, err := dist.NewKDE(g.SampleDensity(10000), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kde.Curve(64)
+	}
+}

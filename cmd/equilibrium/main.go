@@ -1,0 +1,93 @@
+// Command equilibrium runs the coordinator's offline analysis
+// (Algorithm 1) for a mix of applications and prints each class's
+// equilibrium strategy, or serves the coordinator over TCP.
+//
+// Usage:
+//
+//	equilibrium -apps decision=600,pagerank=400
+//	equilibrium -serve 127.0.0.1:7077
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+
+	"sprintgame/internal/coord"
+	"sprintgame/internal/core"
+	"sprintgame/internal/sim"
+	"sprintgame/internal/workload"
+)
+
+func main() {
+	var (
+		apps  = flag.String("apps", "decision=1000", "class counts, e.g. decision=600,pagerank=400")
+		serve = flag.String("serve", "", "serve the coordinator protocol on this TCP address instead")
+		bins  = flag.Int("bins", sim.DensityBins, "utility density bins")
+	)
+	flag.Parse()
+
+	if *serve != "" {
+		c, err := coord.NewCoordinator(core.DefaultConfig())
+		if err != nil {
+			fatal(err)
+		}
+		srv, err := coord.Serve(c, *serve)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("coordinator listening on %s (newline-delimited JSON; types: submit, strategies)\n", srv.Addr())
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+		_ = srv.Close()
+		return
+	}
+
+	cfg := core.DefaultConfig()
+	classes := []core.AgentClass{}
+	total := 0
+	for _, spec := range strings.Split(*apps, ",") {
+		name, countStr, found := strings.Cut(strings.TrimSpace(spec), "=")
+		if !found {
+			fatal(fmt.Errorf("bad class spec %q, want name=count", spec))
+		}
+		count, err := strconv.Atoi(countStr)
+		if err != nil || count <= 0 {
+			fatal(fmt.Errorf("bad count in %q", spec))
+		}
+		b, err := workload.ByName(name)
+		if err != nil {
+			fatal(err)
+		}
+		d, err := b.DiscreteDensity(*bins)
+		if err != nil {
+			fatal(err)
+		}
+		classes = append(classes, core.AgentClass{Name: name, Count: count, Density: d})
+		total += count
+	}
+	cfg.N = total
+
+	eq, err := core.FindEquilibrium(classes, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("agents=%d Ptrip=%.4f sprinters=%.1f converged=%v iterations=%d\n",
+		total, eq.Ptrip, eq.Sprinters, eq.Converged, eq.Iterations)
+	fmt.Printf("%-14s %6s %10s %8s %8s %10s\n",
+		"class", "count", "threshold", "ps", "pA", "sprinters")
+	for i, c := range eq.Classes {
+		fmt.Printf("%-14s %6d %10.3f %8.3f %8.3f %10.1f\n",
+			c.Name, classes[i].Count, c.Threshold, c.SprintProb,
+			c.ActiveFrac, c.ExpectedSprinters)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "equilibrium:", err)
+	os.Exit(1)
+}

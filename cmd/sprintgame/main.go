@@ -1,0 +1,151 @@
+// Command sprintgame simulates a rack of sprinting chip multiprocessors
+// under a chosen policy and reports throughput, emergencies, and
+// time-in-state shares.
+//
+// Usage:
+//
+//	sprintgame -app decision -policy equilibrium -epochs 1000
+//	sprintgame -app decision,pagerank -policy greedy -series series.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sprintgame/internal/core"
+	"sprintgame/internal/policy"
+	"sprintgame/internal/power"
+	"sprintgame/internal/sim"
+	"sprintgame/internal/workload"
+)
+
+func main() {
+	var (
+		apps    = flag.String("app", "decision", "comma-separated benchmark names (see -apps)")
+		listApp = flag.Bool("apps", false, "list benchmark names and exit")
+		polName = flag.String("policy", "equilibrium", "greedy | backoff | equilibrium | cooperative | never")
+		epochs  = flag.Int("epochs", 1000, "epochs to simulate")
+		agents  = flag.Int("agents", 1000, "number of agents (chips)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		series  = flag.String("series", "", "write per-epoch sprinter counts as CSV to this file")
+		traces  = flag.String("traces", "", "drive the simulation from a recorded trace set (JSON from tracegen -o) instead of live generation")
+	)
+	flag.Parse()
+
+	if *listApp {
+		for _, n := range workload.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	game := core.DefaultConfig()
+	if *agents != game.N {
+		nmin, nmax := game.Trip.Bounds()
+		f := float64(*agents) / float64(game.N)
+		game.Trip = power.LinearTripModel{NMin: nmin * f, NMax: nmax * f}
+		game.N = *agents
+	}
+
+	var groups []sim.Group
+	if *traces != "" {
+		f, err := os.Open(*traces)
+		if err != nil {
+			fatal(err)
+		}
+		ts, err := workload.LoadTraceSet(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		groups = []sim.Group{{Class: ts.Benchmark, Count: game.N, TraceSet: ts}}
+	} else {
+		names := strings.Split(*apps, ",")
+		remaining := game.N
+		for i, name := range names {
+			b, err := workload.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			count := remaining / (len(names) - i)
+			remaining -= count
+			groups = append(groups, sim.Group{Class: b.Name, Count: count, Bench: b})
+		}
+	}
+
+	cfg := sim.Config{
+		Epochs:       *epochs,
+		Seed:         *seed,
+		Game:         game,
+		Groups:       groups,
+		RecordSeries: *series != "",
+	}
+
+	var pol policy.Policy
+	switch *polName {
+	case "greedy":
+		pol = policy.NewGreedy(*seed + 1)
+	case "backoff":
+		pol = policy.NewExponentialBackoff(*seed + 2)
+	case "never":
+		pol = policy.Never{}
+	case "equilibrium":
+		p, eq, err := sim.BuildEquilibriumPolicy(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("equilibrium: Ptrip=%.4f expected sprinters=%.1f (converged=%v, %d iterations)\n",
+			eq.Ptrip, eq.Sprinters, eq.Converged, eq.Iterations)
+		for _, c := range eq.Classes {
+			fmt.Printf("  class %-12s threshold=%.3f ps=%.3f sprint-share=%.3f\n",
+				c.Name, c.Threshold, c.SprintProb, c.SprintTimeShare())
+		}
+		pol = p
+	case "cooperative":
+		p, res, err := sim.BuildCooperativePolicy(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("cooperative: threshold=%.3f analytic rate=%.3f (searched %d candidates)\n",
+			res.Best.Threshold, res.Best.Rate, res.Evaluated)
+		pol = p
+	default:
+		fatal(fmt.Errorf("unknown policy %q", *polName))
+	}
+
+	res, err := sim.Run(cfg, pol)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("\npolicy=%s epochs=%d agents=%d\n", res.Policy, res.Epochs, game.N)
+	fmt.Printf("task rate: %.3f units/agent-epoch (normal mode = 1.0)\n", res.TaskRate)
+	fmt.Printf("power emergencies: %d\n", res.Trips)
+	fmt.Printf("time in states: sprinting=%.1f%% active=%.1f%% cooling=%.1f%% recovery=%.1f%%\n",
+		100*res.Shares.Sprinting, 100*res.Shares.ActiveIdle,
+		100*res.Shares.Cooling, 100*res.Shares.Recovery)
+	for _, g := range res.Groups {
+		fmt.Printf("  group %-12s (%4d agents): rate=%.3f mean-sprint-utility=%.2f\n",
+			g.Class, g.Count, g.TaskRate, g.MeanSprintUtility)
+	}
+
+	if *series != "" {
+		f, err := os.Create(*series)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		fmt.Fprintln(f, "epoch,sprinters,recovering")
+		for i := range res.SprintersPerEpoch {
+			fmt.Fprintf(f, "%d,%d,%d\n", i, res.SprintersPerEpoch[i], res.RecoveringPerEpoch[i])
+		}
+		fmt.Printf("wrote per-epoch series to %s\n", *series)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sprintgame:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+// Command tracegen generates and inspects synthetic workload traces: the
+// per-epoch sprint utilities the game's agents act on.
+//
+// Usage:
+//
+//	tracegen -app pagerank -epochs 500            # CSV to stdout
+//	tracegen -app pagerank -epochs 20000 -summary # density summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sprintgame/internal/dist"
+	"sprintgame/internal/stats"
+	"sprintgame/internal/workload"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "decision", "benchmark name")
+		epochs  = flag.Int("epochs", 100, "epochs to generate")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		summary = flag.Bool("summary", false, "print a density summary instead of the raw trace")
+		out     = flag.String("o", "", "record a trace set (JSON) to this file instead of printing")
+		count   = flag.Int("n", 1, "number of traces in the recorded set (with -o)")
+	)
+	flag.Parse()
+
+	b, err := workload.ByName(*app)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *out != "" {
+		ts, err := workload.GenerateTraceSet(b, *seed, *count, *epochs)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := ts.Save(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recorded %d traces x %d epochs of %s to %s\n",
+			*count, *epochs, b.Name, *out)
+		return
+	}
+
+	g, err := workload.NewTraceGenerator(b, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *summary {
+		samples := g.SampleDensity(*epochs)
+		s := stats.Summarize(samples)
+		fmt.Printf("benchmark=%s epochs=%d\n", b.Name, *epochs)
+		fmt.Printf("utility: mean=%.2f sd=%.2f min=%.2f p25=%.2f median=%.2f p75=%.2f p95=%.2f max=%.2f\n",
+			s.Mean, s.StdDev, s.Min, s.P25, s.Median, s.P75, s.P95, s.Max)
+		fmt.Printf("model density mean=%.2f\n", b.MeanSpeedup())
+		kde, err := dist.NewKDE(samples, 0)
+		if err != nil {
+			fatal(err)
+		}
+		xs, ys := kde.Curve(24)
+		peak := 0.0
+		for _, y := range ys {
+			if y > peak {
+				peak = y
+			}
+		}
+		fmt.Println("kernel density (Figure 10 style):")
+		for i := range xs {
+			bar := int(40 * ys[i] / peak)
+			fmt.Printf("%6.2f | %s\n", xs[i], repeat('#', bar))
+		}
+		return
+	}
+
+	tr, err := g.Generate(*epochs)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("epoch,utility,base_tps")
+	for i := 0; i < tr.Len(); i++ {
+		fmt.Printf("%d,%.4f,%.2f\n", i, tr.Utilities[i], tr.BaseTPS[i])
+	}
+}
+
+func repeat(r rune, n int) string {
+	out := make([]rune, n)
+	for i := range out {
+		out[i] = r
+	}
+	return string(out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

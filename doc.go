@@ -1,0 +1,11 @@
+// Package sprintgame is a from-scratch Go reproduction of "The
+// Computational Sprinting Game" (Fan, Zahedi, Lee — ASPLOS 2016): a
+// mean-field repeated game that decides when each chip multiprocessor in
+// a power-constrained rack should sprint.
+//
+// The implementation lives under internal/ (see README.md for the map);
+// runnable entry points are the commands under cmd/ and the programs
+// under examples/. The benchmarks in this package regenerate every table
+// and figure of the paper's evaluation at reduced scale; cmd/experiments
+// regenerates them at paper scale.
+package sprintgame

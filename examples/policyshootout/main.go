@@ -1,0 +1,93 @@
+// Policy shoot-out: run all four sprinting policies (§6) on one workload
+// and print the Figure 6/7/8 story end to end — dynamics, time in states,
+// and throughput.
+//
+// Run with:
+//
+//	go run ./examples/policyshootout [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"sprintgame/internal/core"
+	"sprintgame/internal/sim"
+	"sprintgame/internal/stats"
+	"sprintgame/internal/workload"
+)
+
+func main() {
+	name := "decision"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	bench, err := workload.ByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	game := core.DefaultConfig()
+	cfg := sim.Config{
+		Epochs:       1000,
+		Seed:         7,
+		Game:         game,
+		Groups:       []sim.Group{{Class: bench.Name, Count: game.N, Bench: bench}},
+		RecordSeries: true,
+	}
+	cmp, err := sim.ComparePolicies(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	nmin, _ := game.Trip.Bounds()
+	fmt.Printf("workload %s, %d agents, %d epochs, Nmin=%.0f\n\n",
+		bench.FullName, game.N, cfg.Epochs, nmin)
+
+	results := []*sim.Result{cmp.Greedy, cmp.Backoff, cmp.Equilibrium, cmp.Cooperative}
+	fmt.Printf("%-22s %8s %6s %10s %10s %9s %9s %9s %9s\n",
+		"policy", "rate", "trips", "vs greedy", "sprinters", "sprint%", "active%", "cool%", "recover%")
+	for _, r := range results {
+		var mean float64
+		for _, s := range r.SprintersPerEpoch {
+			mean += float64(s)
+		}
+		mean /= float64(len(r.SprintersPerEpoch))
+		fmt.Printf("%-22s %8.3f %6d %9.2fx %10.0f %8.1f%% %8.1f%% %8.1f%% %8.1f%%\n",
+			r.Policy, r.TaskRate, r.Trips, r.TaskRate/cmp.Greedy.TaskRate, mean,
+			100*r.Shares.Sprinting, 100*r.Shares.ActiveIdle,
+			100*r.Shares.Cooling, 100*r.Shares.Recovery)
+	}
+
+	// A text rendering of Figure 6: sprinter counts over time.
+	fmt.Println("\nsprinters per epoch (each column = 25 epochs, # = 50 sprinters):")
+	for _, r := range results {
+		fmt.Printf("%-22s ", r.Policy)
+		for w := 0; w+25 <= len(r.SprintersPerEpoch); w += 25 {
+			win := make([]float64, 25)
+			for i := range win {
+				win[i] = float64(r.SprintersPerEpoch[w+i])
+			}
+			m := stats.Mean(win)
+			fmt.Print(glyph(m))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nglyphs: ' ' <25, '.' <100, ':' <200, '|' <300, '#' >=300 mean sprinters")
+}
+
+func glyph(mean float64) string {
+	switch {
+	case mean < 25:
+		return " "
+	case mean < 100:
+		return "."
+	case mean < 200:
+		return ":"
+	case mean < 300:
+		return "|"
+	default:
+		return "#"
+	}
+}

@@ -1,0 +1,98 @@
+// Provisioning study: how should a datacenter architect size the thermal
+// package, the breaker, and the UPS? This example derives the game's
+// Table 2 parameters from physical models and shows how equilibrium
+// behavior responds — the §6.5 sensitivity analysis as a design-space
+// walk.
+//
+// Run with:
+//
+//	go run ./examples/provisioning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sprintgame/internal/core"
+	"sprintgame/internal/power"
+	"sprintgame/internal/thermal"
+	"sprintgame/internal/workload"
+)
+
+func main() {
+	const normalW, sprintW = 45.0, 81.0
+
+	// 1. Thermal package: paraffin PCM sizing determines the sprint
+	//    budget and the cooling persistence pc.
+	pkg := thermal.Default()
+	fmt.Println("thermal package (paraffin PCM):")
+	fmt.Printf("  sprint budget: %.0f s, cooling time: %.0f s\n",
+		pkg.SprintBudgetS(normalW, sprintW), pkg.CoolTimeS(normalW))
+	fmt.Printf("  pc at 150 s epochs: %.2f (Table 2: 0.50)\n",
+		pkg.CoolingStayProbability(normalW, 150))
+
+	// What if we doubled the PCM? Longer sprints, longer cooling.
+	big := pkg
+	big.LatentJ *= 2
+	fmt.Printf("  2x PCM: sprint %.0f s, cooling %.0f s, pc %.2f\n",
+		big.SprintBudgetS(normalW, sprintW), big.CoolTimeS(normalW),
+		big.CoolingStayProbability(normalW, 150))
+
+	// 2. Breaker: the UL489 trip curve plus 2x sprint power fixes
+	//    Nmin/Nmax.
+	rack := power.DefaultRack()
+	m := rack.DeriveTripModel()
+	fmt.Printf("\nbreaker: derived Nmin=%.0f Nmax=%.0f (Table 2: 250/750)\n", m.NMin, m.NMax)
+
+	// 3. UPS: recharge at 8-10x discharge time fixes pr.
+	ups := power.DefaultUPS()
+	fmt.Printf("UPS: recovery %.1f epochs, pr=%.2f (Table 2: 0.88)\n",
+		ups.RecoveryEpochs(150), ups.RecoveryStayProbability(150))
+
+	// 4. Feed the derived parameters into the game and study sensitivity
+	//    for a representative workload.
+	bench, err := workload.ByName("decision")
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := bench.DiscreteDensity(250)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := core.DefaultConfig()
+	base.Pc = pkg.CoolingStayProbability(normalW, 150)
+	base.Pr = ups.RecoveryStayProbability(150)
+	base.Trip = m
+
+	fmt.Println("\nequilibrium threshold vs PCM size (cooling persistence pc):")
+	pts, err := core.SweepPc(f, base, []float64{0.2, 0.5, 0.8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range pts {
+		fmt.Printf("  pc=%.2f -> threshold %.2f, sprinters %.0f\n",
+			p.Param, p.Threshold, p.Sprinters)
+	}
+
+	fmt.Println("\nequilibrium threshold vs breaker sizing (Nmin, Nmax scaled together):")
+	for _, scale := range []float64{0.5, 1.0, 1.5} {
+		cfg := base
+		cfg.Trip = power.LinearTripModel{NMin: m.NMin * scale, NMax: m.NMax * scale}
+		eq, err := core.SingleClass("decision", f, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %.1fx breaker -> threshold %.2f, sprinters %.0f, Ptrip %.3f\n",
+			scale, eq.Classes[0].Threshold, eq.Sprinters, eq.Ptrip)
+	}
+
+	fmt.Println("\nefficiency of equilibrium vs battery recharge speed (Figure 12):")
+	curve, err := core.EfficiencyCurve(f, base, []float64{0.5, 0.88, 0.97})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range curve {
+		fmt.Printf("  pr=%.2f -> E-T achieves %.0f%% of the cooperative optimum\n",
+			p.Param, 100*p.Threshold)
+	}
+}

@@ -1,0 +1,62 @@
+// Quickstart: solve the sprinting game for one application and simulate
+// the rack under the equilibrium policy.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sprintgame/internal/core"
+	"sprintgame/internal/sim"
+	"sprintgame/internal/workload"
+)
+
+func main() {
+	// 1. Pick a workload from the paper's Table 1 catalog.
+	bench, err := workload.ByName("decision")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s (%s), mean sprint speedup %.1fx\n",
+		bench.FullName, bench.Category, bench.MeanSpeedup())
+
+	// 2. Profile it: the utility density f(u) the coordinator consumes.
+	density, err := bench.DiscreteDensity(250)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Solve the game (Algorithm 1) with the paper's Table 2 defaults:
+	//    1000 chips, Nmin=250, Nmax=750, pc=0.5, pr=0.88, delta=0.99.
+	cfg := core.DefaultConfig()
+	eq, err := core.SingleClass(bench.Name, density, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	strategy := eq.Classes[0]
+	fmt.Printf("equilibrium: sprint when utility exceeds %.2f\n", strategy.Threshold)
+	fmt.Printf("  sprint probability ps=%.2f, expected sprinters=%.0f, Ptrip=%.3f\n",
+		strategy.SprintProb, eq.Sprinters, eq.Ptrip)
+
+	// 4. Simulate the rack under the equilibrium-threshold policy and
+	//    compare against greedy sprinting.
+	simCfg := sim.Config{
+		Epochs: 1000,
+		Seed:   42,
+		Game:   cfg,
+		Groups: []sim.Group{{Class: bench.Name, Count: cfg.N, Bench: bench}},
+	}
+	cmp, err := sim.ComparePolicies(simCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, et, ct := cmp.Normalized()
+	fmt.Printf("\nsimulated task throughput (normalized to greedy):\n")
+	fmt.Printf("  greedy                = 1.00 (%d emergencies)\n", cmp.Greedy.Trips)
+	fmt.Printf("  equilibrium threshold = %.2f (%d emergencies)\n", et, cmp.Equilibrium.Trips)
+	fmt.Printf("  cooperative threshold = %.2f (upper bound)\n", ct)
+}

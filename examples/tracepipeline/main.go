@@ -1,0 +1,110 @@
+// Trace pipeline: the paper's complete methodology in one program.
+//
+//  1. Execute a Spark-like application on the simulated chip in normal
+//     (3 cores @ 1.2 GHz) and sprint (12 cores @ 2.7 GHz) modes — the §5
+//     profiling methodology.
+//  2. Interpolate the two TPS traces into per-epoch sprint utilities.
+//  3. Build the utility density f(u) from those measurements.
+//  4. Solve the sprinting game for the equilibrium threshold.
+//  5. Drive the rack simulator with recorded traces under the
+//     equilibrium policy and compare with greedy sprinting.
+//
+// Run with:
+//
+//	go run ./examples/tracepipeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sprintgame/internal/core"
+	"sprintgame/internal/dist"
+	"sprintgame/internal/executor"
+	"sprintgame/internal/policy"
+	"sprintgame/internal/sim"
+	"sprintgame/internal/stats"
+	"sprintgame/internal/workload"
+)
+
+func main() {
+	bench, err := workload.ByName("pagerank")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1: execute in both modes (identical work, different hardware).
+	app, err := executor.AppForBenchmark(bench, 40, stats.NewRNG(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	normal, err := executor.Run(app, executor.Normal, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sprint, err := executor.Run(app, executor.Sprint, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("executed %s: %d tasks, normal %.0fs vs sprint %.0fs (%.1fx end-to-end)\n",
+		bench.FullName, normal.Total, normal.Makespan, sprint.Makespan,
+		normal.Makespan/sprint.Makespan)
+
+	// Step 2: per-epoch utilities via the paper's trace interpolation.
+	// Profiling granularity matters: coarse epochs straddle stage
+	// boundaries and blur the phase structure an agent exploits, so
+	// profile at fine granularity and let the agent act per epoch.
+	gains, err := executor.EpochSpeedups(normal, sprint, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := stats.Summarize(gains)
+	fmt.Printf("measured %d epoch utilities: mean %.2f, p25 %.2f, p95 %.2f\n",
+		s.N, s.Mean, s.P25, s.P95)
+
+	// Step 3: the measured density f(u).
+	measured, err := dist.FromSamples(gains, 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 4: equilibrium threshold from the measured profile.
+	game := core.DefaultConfig()
+	eq, err := core.SingleClass(bench.Name, measured, game)
+	if err != nil {
+		log.Fatal(err)
+	}
+	measuredTh := eq.Classes[0].Threshold
+	fmt.Printf("equilibrium on measured profile: threshold %.2f, ps %.2f, Ptrip %.3f\n",
+		measuredTh, eq.Classes[0].SprintProb, eq.Ptrip)
+
+	// Step 5: record traces and drive the rack simulator with the
+	// measured threshold, against greedy sprinting.
+	traces, err := workload.GenerateTraceSet(bench, 13, 100, 1200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := sim.Config{
+		Epochs: 1000,
+		Seed:   21,
+		Game:   game,
+		Groups: []sim.Group{{Class: bench.Name, Count: game.N, TraceSet: traces}},
+	}
+	etPol, err := policy.NewThreshold("measured-equilibrium",
+		map[string]float64{bench.Name: measuredTh})
+	if err != nil {
+		log.Fatal(err)
+	}
+	etRes, err := sim.Run(cfg, etPol)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gRes, err := sim.Run(cfg, policy.NewGreedy(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntrace-driven rack simulation:\n")
+	fmt.Printf("  greedy               rate %.2f (%d emergencies)\n", gRes.TaskRate, gRes.Trips)
+	fmt.Printf("  measured equilibrium rate %.2f (%d emergencies) — %.1fx greedy\n",
+		etRes.TaskRate, etRes.Trips, etRes.TaskRate/gRes.TaskRate)
+}

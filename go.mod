@@ -1,0 +1,3 @@
+module sprintgame
+
+go 1.22

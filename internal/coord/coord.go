@@ -1,0 +1,200 @@
+// Package coord implements the paper's management framework (Figure 4):
+// each user deploys an executor, an agent, and a predictor; agents sample
+// epochs, build utility profiles, and send them to a coordinator; the
+// coordinator runs Algorithm 1 over the population and assigns each class
+// a tailored equilibrium threshold. Communication is infrequent and
+// coarse-grained — an equilibrium is self-enforcing, so agents only hear
+// from the coordinator when system profiles change (§2.3).
+//
+// The package offers both an in-process API (Coordinator) and a TCP/JSON
+// line protocol (Server/Client) for the distributed deployment sketched
+// in the paper.
+package coord
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"sprintgame/internal/core"
+	"sprintgame/internal/dist"
+)
+
+// Profile is an agent's report: the utility histogram it observed while
+// sampling epochs (the paper's offline profiling).
+type Profile struct {
+	// Agent uniquely identifies the reporting agent.
+	Agent string `json:"agent"`
+	// Class is the agent's application type; agents of one class share a
+	// strategy.
+	Class string `json:"class"`
+	// Values are utility bin centers and Weights their observed
+	// frequencies.
+	Values  []float64 `json:"values"`
+	Weights []float64 `json:"weights"`
+}
+
+// Validate checks the profile.
+func (p Profile) Validate() error {
+	if p.Agent == "" || p.Class == "" {
+		return errors.New("coord: profile needs agent and class identifiers")
+	}
+	if len(p.Values) == 0 || len(p.Values) != len(p.Weights) {
+		return fmt.Errorf("coord: profile has %d values and %d weights",
+			len(p.Values), len(p.Weights))
+	}
+	if _, err := dist.NewDiscrete(p.Values, p.Weights); err != nil {
+		return fmt.Errorf("coord: invalid profile density: %w", err)
+	}
+	return nil
+}
+
+// Strategy is the coordinator's assignment to one class (§2.3): the
+// equilibrium threshold plus the population statistics that justify it.
+type Strategy struct {
+	Class      string  `json:"class"`
+	Threshold  float64 `json:"threshold"`
+	SprintProb float64 `json:"sprint_prob"`
+	Ptrip      float64 `json:"ptrip"`
+	// Agents is the number of agents of this class the coordinator
+	// counted when solving the game.
+	Agents int `json:"agents"`
+}
+
+// Coordinator collects profiles and computes equilibrium strategies. It
+// is safe for concurrent use.
+type Coordinator struct {
+	cfg core.Config
+
+	mu       sync.Mutex
+	profiles map[string]Profile // by agent id
+}
+
+// NewCoordinator returns a coordinator with the given game parameters.
+// cfg.N is ignored: the rack population is the set of registered agents.
+func NewCoordinator(cfg core.Config) (*Coordinator, error) {
+	probe := cfg
+	probe.N = 1
+	if err := probe.Validate(); err != nil {
+		return nil, err
+	}
+	return &Coordinator{cfg: cfg, profiles: make(map[string]Profile)}, nil
+}
+
+// Submit registers or replaces an agent's profile.
+func (c *Coordinator) Submit(p Profile) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.profiles[p.Agent] = p
+	return nil
+}
+
+// AgentCount returns the number of registered agents.
+func (c *Coordinator) AgentCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.profiles)
+}
+
+// poolBins bounds the pooled class density's support size so the game's
+// dynamic program stays fast regardless of how many agents report.
+const poolBins = 250
+
+// poolAtoms merges many per-agent profile atoms into one bounded-size
+// class density by re-histogramming.
+func poolAtoms(values, weights []float64) (*dist.Discrete, error) {
+	raw, err := dist.NewDiscrete(values, weights)
+	if err != nil {
+		return nil, err
+	}
+	if raw.Len() <= poolBins {
+		return raw, nil
+	}
+	lo, hi := raw.Support()
+	h, err := dist.NewHistogram(lo, hi+1e-9, poolBins)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < raw.Len(); i++ {
+		x, p := raw.Atom(i)
+		h.AddWeighted(x, p)
+	}
+	return h.Discrete()
+}
+
+// ComputeStrategies merges profiles per class, runs Algorithm 1, and
+// returns each class's assigned strategy.
+func (c *Coordinator) ComputeStrategies() (map[string]Strategy, *core.Equilibrium, error) {
+	c.mu.Lock()
+	type classAgg struct {
+		count   int
+		values  []float64
+		weights []float64
+	}
+	agg := make(map[string]*classAgg)
+	for _, p := range c.profiles {
+		a := agg[p.Class]
+		if a == nil {
+			a = &classAgg{}
+			agg[p.Class] = a
+		}
+		a.count++
+		// Pool observations: per-agent weights are normalized before
+		// pooling so large profiles don't dominate their class.
+		d, err := dist.NewDiscrete(p.Values, p.Weights)
+		if err != nil {
+			c.mu.Unlock()
+			return nil, nil, err
+		}
+		a.values = append(a.values, d.Values()...)
+		a.weights = append(a.weights, d.Probs()...)
+	}
+	c.mu.Unlock()
+
+	if len(agg) == 0 {
+		return nil, nil, errors.New("coord: no profiles registered")
+	}
+	names := make([]string, 0, len(agg))
+	for name := range agg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	cfg := c.cfg
+	cfg.N = 0
+	classes := make([]core.AgentClass, 0, len(names))
+	for _, name := range names {
+		a := agg[name]
+		d, err := poolAtoms(a.values, a.weights)
+		if err != nil {
+			return nil, nil, fmt.Errorf("coord: pooling class %q: %w", name, err)
+		}
+		classes = append(classes, core.AgentClass{Name: name, Count: a.count, Density: d})
+		cfg.N += a.count
+	}
+	eq, err := core.FindEquilibrium(classes, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make(map[string]Strategy, len(eq.Classes))
+	for _, cl := range eq.Classes {
+		n := 0
+		for _, ac := range classes {
+			if ac.Name == cl.Name {
+				n = ac.Count
+			}
+		}
+		out[cl.Name] = Strategy{
+			Class:      cl.Name,
+			Threshold:  cl.Threshold,
+			SprintProb: cl.SprintProb,
+			Ptrip:      eq.Ptrip,
+			Agents:     n,
+		}
+	}
+	return out, eq, nil
+}

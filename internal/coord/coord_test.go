@@ -1,0 +1,279 @@
+package coord
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"sprintgame/internal/core"
+	"sprintgame/internal/dist"
+	"sprintgame/internal/workload"
+)
+
+func gameConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.ValueTol = 1e-8
+	return cfg
+}
+
+func profileFor(t *testing.T, id, class string, seed uint64, epochs int) Profile {
+	t.Helper()
+	b, err := workload.ByName(class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := workload.EmpiricalDensity(b, seed, epochs, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Profile{Agent: id, Class: class, Values: d.Values(), Weights: d.Probs()}
+}
+
+func TestProfileValidate(t *testing.T) {
+	good := Profile{Agent: "a1", Class: "decision", Values: []float64{1, 2}, Weights: []float64{1, 1}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []Profile{
+		{Class: "c", Values: []float64{1}, Weights: []float64{1}},
+		{Agent: "a", Values: []float64{1}, Weights: []float64{1}},
+		{Agent: "a", Class: "c"},
+		{Agent: "a", Class: "c", Values: []float64{1, 2}, Weights: []float64{1}},
+		{Agent: "a", Class: "c", Values: []float64{1}, Weights: []float64{-1}},
+	}
+	for i, p := range cases {
+		if p.Validate() == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestNewCoordinatorRejectsBadConfig(t *testing.T) {
+	bad := gameConfig()
+	bad.Delta = 2
+	if _, err := NewCoordinator(bad); err == nil {
+		t.Error("invalid config should be rejected")
+	}
+}
+
+func TestCoordinatorEndToEnd(t *testing.T) {
+	c, err := NewCoordinator(gameConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 600 decision agents, 400 pagerank agents.
+	for i := 0; i < 600; i++ {
+		p := profileFor(t, fmt.Sprintf("d%d", i), "decision", uint64(i+1), 400)
+		if err := c.Submit(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 400; i++ {
+		p := profileFor(t, fmt.Sprintf("p%d", i), "pagerank", uint64(i+9000), 400)
+		if err := c.Submit(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.AgentCount() != 1000 {
+		t.Fatalf("agent count = %d", c.AgentCount())
+	}
+	strategies, eq, err := c.ComputeStrategies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq.Converged {
+		t.Error("equilibrium did not converge")
+	}
+	if len(strategies) != 2 {
+		t.Fatalf("strategies for %d classes", len(strategies))
+	}
+	d := strategies["decision"]
+	p := strategies["pagerank"]
+	if d.Agents != 600 || p.Agents != 400 {
+		t.Errorf("agent counts %d/%d", d.Agents, p.Agents)
+	}
+	if d.Threshold <= 0 || p.Threshold <= 0 {
+		t.Error("thresholds should be positive")
+	}
+	// PageRank's bimodal profile yields the higher threshold.
+	if p.Threshold <= d.Threshold {
+		t.Errorf("pagerank threshold %v should exceed decision's %v",
+			p.Threshold, d.Threshold)
+	}
+	if d.Ptrip != p.Ptrip {
+		t.Error("classes should share the equilibrium Ptrip")
+	}
+}
+
+func TestCoordinatorMatchesDirectGameSolution(t *testing.T) {
+	// Profiles sampled from the model density should lead the coordinator
+	// to (approximately) the same thresholds as solving the game on the
+	// analytic density.
+	c, _ := NewCoordinator(gameConfig())
+	for i := 0; i < 50; i++ {
+		if err := c.Submit(profileFor(t, fmt.Sprintf("a%d", i), "decision", uint64(i+1), 2000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := gameConfig()
+	cfg.N = 50
+	strategies, _, err := c.ComputeStrategies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := workload.ByName("decision")
+	d, _ := b.DiscreteDensity(250)
+	eq, err := core.SingleClass("decision", d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strategies["decision"].Threshold
+	want := eq.Classes[0].Threshold
+	if math.Abs(got-want) > 0.25*want {
+		t.Errorf("coordinator threshold %v vs analytic %v", got, want)
+	}
+}
+
+func TestComputeStrategiesNoProfiles(t *testing.T) {
+	c, _ := NewCoordinator(gameConfig())
+	if _, _, err := c.ComputeStrategies(); err == nil {
+		t.Error("no profiles should error")
+	}
+}
+
+func TestSubmitReplacesProfile(t *testing.T) {
+	c, _ := NewCoordinator(gameConfig())
+	p := profileFor(t, "a1", "decision", 1, 200)
+	if err := c.Submit(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(p); err != nil {
+		t.Fatal(err)
+	}
+	if c.AgentCount() != 1 {
+		t.Errorf("resubmission duplicated the agent: %d", c.AgentCount())
+	}
+	if err := c.Submit(Profile{}); err == nil {
+		t.Error("invalid profile should be rejected")
+	}
+}
+
+func TestEWMAPredictor(t *testing.T) {
+	if _, err := NewEWMAPredictor(0, 1); err == nil {
+		t.Error("alpha 0 should error")
+	}
+	if _, err := NewEWMAPredictor(1.5, 1); err == nil {
+		t.Error("alpha > 1 should error")
+	}
+	p, err := NewEWMAPredictor(0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Predict() != 3 {
+		t.Errorf("unprimed prediction = %v", p.Predict())
+	}
+	p.Observe(5)
+	if p.Predict() != 5 {
+		t.Errorf("first observation should seed the estimate: %v", p.Predict())
+	}
+	p.Observe(9)
+	if p.Predict() != 7 {
+		t.Errorf("EWMA = %v, want 7", p.Predict())
+	}
+}
+
+func TestEWMAPredictorTracksPhases(t *testing.T) {
+	// On a phase-structured trace, EWMA predictions should correlate with
+	// realized utilities well above chance.
+	b, _ := workload.ByName("pagerank")
+	pred, _ := NewEWMAPredictor(0.7, b.MeanSpeedup())
+	a, err := NewAgent("a1", b, 5, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = a.Assign(Strategy{Class: "pagerank", Threshold: 5})
+	agree := 0
+	n := 5000
+	for i := 0; i < n; i++ {
+		sprint, utility := a.Step()
+		if sprint == (utility > 5) {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(n); frac < 0.8 {
+		t.Errorf("prediction agreement %v, want phase tracking to work", frac)
+	}
+}
+
+func TestOraclePredictor(t *testing.T) {
+	var o OraclePredictor
+	o.SetTruth(4.2)
+	if o.Predict() != 4.2 {
+		t.Error("oracle should return the truth")
+	}
+	o.Observe(9) // no-op
+	if o.Predict() != 4.2 {
+		t.Error("observe should not disturb the oracle")
+	}
+}
+
+func TestAgentLifecycle(t *testing.T) {
+	b, _ := workload.ByName("decision")
+	if _, err := NewAgent("", b, 1, &OraclePredictor{}); err == nil {
+		t.Error("empty id should error")
+	}
+	if _, err := NewAgent("a", b, 1, nil); err == nil {
+		t.Error("nil predictor should error")
+	}
+	a, err := NewAgent("a1", b, 1, &OraclePredictor{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before assignment: never sprint.
+	if sprint, _ := a.Step(); sprint {
+		t.Error("unassigned agent sprinted")
+	}
+	if a.Assigned() {
+		t.Error("agent should not report a strategy yet")
+	}
+	// Wrong class strategy rejected.
+	if err := a.Assign(Strategy{Class: "pagerank", Threshold: 1}); err == nil {
+		t.Error("cross-class strategy should be rejected")
+	}
+	if err := a.Assign(Strategy{Class: "decision", Threshold: 3.3}); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Assigned() || a.Threshold() != 3.3 {
+		t.Error("assignment not recorded")
+	}
+	// With an oracle predictor, decisions exactly implement the
+	// threshold rule.
+	for i := 0; i < 2000; i++ {
+		sprint, u := a.Step()
+		if sprint != (u > 3.3) {
+			t.Fatalf("oracle agent decision mismatch at u=%v", u)
+		}
+	}
+}
+
+func TestAgentProfileEpochs(t *testing.T) {
+	b, _ := workload.ByName("linear")
+	a, _ := NewAgent("a1", b, 3, &OraclePredictor{})
+	if _, err := a.ProfileEpochs(0, 10); err == nil {
+		t.Error("zero epochs should error")
+	}
+	p, err := a.ProfileEpochs(3000, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := dist.NewDiscrete(p.Values, p.Weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Mean()-b.MeanSpeedup()) > 0.3 {
+		t.Errorf("profiled mean %v vs model %v", d.Mean(), b.MeanSpeedup())
+	}
+}

@@ -1,0 +1,184 @@
+package coord
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// The wire protocol is newline-delimited JSON over TCP. Each request is
+// one line; each response is one line. The coordinator's global
+// communication is infrequent (profiles change slowly), so a simple
+// line protocol suffices; the latency-critical sprint decision never
+// crosses the network (§2.3).
+
+// request is the client-to-server message.
+type request struct {
+	// Type is "submit" or "strategies".
+	Type string `json:"type"`
+	// Profile accompanies "submit".
+	Profile *Profile `json:"profile,omitempty"`
+}
+
+// response is the server-to-client message.
+type response struct {
+	OK    string `json:"ok,omitempty"`
+	Error string `json:"error,omitempty"`
+	// Strategies answers a "strategies" request.
+	Strategies map[string]Strategy `json:"strategies,omitempty"`
+	// Ptrip is the equilibrium tripping probability.
+	Ptrip float64 `json:"ptrip,omitempty"`
+}
+
+// Server exposes a Coordinator over TCP.
+type Server struct {
+	coord *Coordinator
+	ln    net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts a server on addr (e.g. "127.0.0.1:0") and returns it.
+// Connections are handled until Close.
+func Serve(coord *Coordinator, addr string) (*Server, error) {
+	if coord == nil {
+		return nil, errors.New("coord: nil coordinator")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{coord: coord, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			done := s.closed
+			s.mu.Unlock()
+			if done {
+				return
+			}
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	enc := json.NewEncoder(conn)
+	for scanner.Scan() {
+		var req request
+		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
+			_ = enc.Encode(response{Error: "malformed request: " + err.Error()})
+			continue
+		}
+		_ = enc.Encode(s.dispatch(req))
+	}
+}
+
+func (s *Server) dispatch(req request) response {
+	switch req.Type {
+	case "submit":
+		if req.Profile == nil {
+			return response{Error: "submit requires a profile"}
+		}
+		if err := s.coord.Submit(*req.Profile); err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{OK: "profile accepted"}
+	case "strategies":
+		strategies, eq, err := s.coord.ComputeStrategies()
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{OK: "equilibrium", Strategies: strategies, Ptrip: eq.Ptrip}
+	default:
+		return response{Error: fmt.Sprintf("unknown request type %q", req.Type)}
+	}
+}
+
+// Client talks to a coordinator Server.
+type Client struct {
+	addr    string
+	timeout time.Duration
+}
+
+// NewClient returns a client for the given server address.
+func NewClient(addr string) *Client {
+	return &Client{addr: addr, timeout: 5 * time.Second}
+}
+
+// roundTrip sends one request and decodes one response.
+func (c *Client) roundTrip(req request) (response, error) {
+	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return response{}, err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(c.timeout))
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return response{}, err
+	}
+	if _, err := conn.Write(append(payload, '\n')); err != nil {
+		return response{}, err
+	}
+	var resp response
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	if err := dec.Decode(&resp); err != nil {
+		return response{}, err
+	}
+	if resp.Error != "" {
+		return resp, errors.New(resp.Error)
+	}
+	return resp, nil
+}
+
+// SubmitProfile sends an agent's profile to the coordinator.
+func (c *Client) SubmitProfile(p Profile) error {
+	_, err := c.roundTrip(request{Type: "submit", Profile: &p})
+	return err
+}
+
+// FetchStrategies asks the coordinator to solve the game and return every
+// class's assigned strategy along with the equilibrium Ptrip.
+func (c *Client) FetchStrategies() (map[string]Strategy, float64, error) {
+	resp, err := c.roundTrip(request{Type: "strategies"})
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.Strategies, resp.Ptrip, nil
+}

@@ -1,0 +1,128 @@
+package coord
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"testing"
+)
+
+func startServer(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	c, err := NewCoordinator(gameConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(c, "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv, NewClient(srv.Addr())
+}
+
+func TestServeRejectsNilCoordinator(t *testing.T) {
+	if _, err := Serve(nil, "127.0.0.1:0"); err == nil {
+		t.Error("nil coordinator should error")
+	}
+}
+
+func TestNetProtocolEndToEnd(t *testing.T) {
+	_, client := startServer(t)
+
+	// Submitting before any profile exists: strategies must fail.
+	if _, _, err := client.FetchStrategies(); err == nil {
+		t.Error("strategies without profiles should error")
+	}
+
+	// Submit profiles for a small population.
+	for i := 0; i < 8; i++ {
+		p := profileFor(t, fmt.Sprintf("d%d", i), "decision", uint64(i+1), 500)
+		if err := client.SubmitProfile(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		p := profileFor(t, fmt.Sprintf("p%d", i), "pagerank", uint64(i+100), 500)
+		if err := client.SubmitProfile(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	strategies, ptrip, err := client.FetchStrategies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strategies) != 2 {
+		t.Fatalf("got %d strategies", len(strategies))
+	}
+	if ptrip < 0 || ptrip > 1 {
+		t.Errorf("ptrip = %v", ptrip)
+	}
+	if strategies["decision"].Agents != 8 || strategies["pagerank"].Agents != 4 {
+		t.Errorf("agent counts wrong: %+v", strategies)
+	}
+}
+
+func TestNetProtocolInvalidSubmit(t *testing.T) {
+	_, client := startServer(t)
+	if err := client.SubmitProfile(Profile{Agent: "x"}); err == nil {
+		t.Error("invalid profile should be rejected by the server")
+	}
+}
+
+func TestNetProtocolMalformedRequests(t *testing.T) {
+	srv, _ := startServer(t)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Malformed JSON.
+	if _, err := conn.Write([]byte("{nope\n")); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(conn)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(line) == 0 || line[0] != '{' {
+		t.Fatalf("unexpected reply %q", line)
+	}
+	// Unknown type.
+	if _, err := conn.Write([]byte(`{"type":"dance"}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	line, err = r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "unknown request type"; !contains(line, want) {
+		t.Errorf("reply %q does not mention %q", line, want)
+	}
+	// Submit without profile.
+	if _, err := conn.Write([]byte(`{"type":"submit"}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	line, _ = r.ReadString('\n')
+	if !contains(line, "requires a profile") {
+		t.Errorf("reply %q", line)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestClientAgainstClosedServer(t *testing.T) {
+	srv, client := startServer(t)
+	_ = srv.Close()
+	if err := client.SubmitProfile(profileFor(t, "a", "decision", 1, 100)); err == nil {
+		t.Error("submit to a closed server should fail")
+	}
+}

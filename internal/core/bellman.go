@@ -1,0 +1,111 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sprintgame/internal/dist"
+)
+
+// Values is the solution of the agent's dynamic program for a fixed
+// tripping probability: the expected values of the three states and the
+// optimal sprinting threshold they induce (Eq. 8).
+type Values struct {
+	// VA, VC, VR are the expected values of the active, cooling, and
+	// recovery states (Eqs. 4-6).
+	VA, VC, VR float64
+	// Threshold is the optimal sprinting threshold
+	// uT = delta * (VA - VC) * (1 - Ptrip); an active agent sprints iff
+	// her utility exceeds it.
+	Threshold float64
+	// Ptrip is the tripping probability the program was solved against.
+	Ptrip float64
+	// Iterations is the number of value-iteration sweeps used.
+	Iterations int
+}
+
+// SolveBellman solves Eqs. (1)-(8) by value iteration for the utility
+// density f and tripping probability ptrip. The recursion contracts with
+// modulus delta, so with delta = 0.99 convergence takes a few thousand
+// sweeps (the paper: iterations grow polynomially in 1/(1-delta)).
+func SolveBellman(f *dist.Discrete, ptrip float64, cfg Config) (Values, error) {
+	if err := cfg.Validate(); err != nil {
+		return Values{}, err
+	}
+	if f == nil || f.Len() == 0 {
+		return Values{}, errors.New("core: empty utility density")
+	}
+	if ptrip < 0 || ptrip > 1 {
+		return Values{}, fmt.Errorf("core: ptrip = %v is not a probability", ptrip)
+	}
+	d := cfg.Delta
+	var vA, vC, vR float64
+	n := f.Len()
+	us := f.Values()
+	ps := f.Probs()
+	iter := 0
+	for ; iter < cfg.MaxValueIter; iter++ {
+		// Value of not sprinting (Eq. 3) is utility-independent.
+		vNoSprint := d * (vA*(1-ptrip) + vR*ptrip)
+		// Continuation value of sprinting excluding the immediate u
+		// (Eq. 2).
+		sprintCont := d * (vC*(1-ptrip) + vR*ptrip)
+		// Eq. (4): expectation of Eq. (1) over f.
+		newVA := 0.0
+		for i := 0; i < n; i++ {
+			v := us[i] + sprintCont
+			if vNoSprint > v {
+				v = vNoSprint
+			}
+			newVA += ps[i] * v
+		}
+		// Eqs. (5) and (6).
+		newVC := d*(vC*cfg.Pc+vA*(1-cfg.Pc))*(1-ptrip) + d*vR*ptrip
+		newVR := d * (vR*cfg.Pr + vA*(1-cfg.Pr))
+		diff := math.Max(math.Abs(newVA-vA),
+			math.Max(math.Abs(newVC-vC), math.Abs(newVR-vR)))
+		vA, vC, vR = newVA, newVC, newVR
+		if diff < cfg.ValueTol {
+			iter++
+			break
+		}
+	}
+	if iter >= cfg.MaxValueIter {
+		return Values{}, errors.New("core: value iteration did not converge")
+	}
+	return Values{
+		VA:         vA,
+		VC:         vC,
+		VR:         vR,
+		Threshold:  d * (vA - vC) * (1 - ptrip),
+		Ptrip:      ptrip,
+		Iterations: iter,
+	}, nil
+}
+
+// SprintProbability is Eq. (9): the probability an active agent's utility
+// exceeds her threshold in a given epoch.
+func SprintProbability(f *dist.Discrete, threshold float64) float64 {
+	return f.TailProb(threshold)
+}
+
+// ActiveFraction is the stationary probability that an agent is active
+// rather than cooling, in the two-state chain of Figure 5 (recovery
+// excluded, as the paper conditions the sprint distribution on the rack
+// not recovering).
+func ActiveFraction(sprintProb, pc float64) float64 {
+	if pc >= 1 {
+		if sprintProb > 0 {
+			return 0
+		}
+		return 1
+	}
+	return (1 - pc) / (1 - pc + sprintProb)
+}
+
+// ExpectedSprinters is Eq. (10): nS = ps * pA * N.
+func ExpectedSprinters(f *dist.Discrete, threshold, pc float64, n int) float64 {
+	ps := SprintProbability(f, threshold)
+	return ps * ActiveFraction(ps, pc) * float64(n)
+}

@@ -1,0 +1,44 @@
+package core_test
+
+import (
+	"fmt"
+
+	"sprintgame/internal/core"
+	"sprintgame/internal/dist"
+	"sprintgame/internal/workload"
+)
+
+// ExampleSingleClass solves the sprinting game for a homogeneous rack of
+// Decision Tree agents with the paper's Table 2 parameters.
+func ExampleSingleClass() {
+	bench, _ := workload.ByName("decision")
+	density, _ := bench.DiscreteDensity(250)
+	eq, _ := core.SingleClass("decision", density, core.DefaultConfig())
+	o := eq.Classes[0]
+	fmt.Printf("threshold %.2f, sprint probability %.2f, sprinters %.0f\n",
+		o.Threshold, o.SprintProb, eq.Sprinters)
+	// Output:
+	// threshold 3.26, sprint probability 0.53, sprinters 258
+}
+
+// ExampleSolveBellman solves the agent's dynamic program directly for a
+// fixed tripping probability.
+func ExampleSolveBellman() {
+	f := dist.MustDiscrete([]float64{2, 8}, []float64{0.6, 0.4})
+	vals, _ := core.SolveBellman(f, 0, core.DefaultConfig())
+	fmt.Printf("sprint when utility exceeds %.1f\n", vals.Threshold)
+	// Output:
+	// sprint when utility exceeds 3.5
+}
+
+// ExampleCooperativeThreshold finds the centrally enforced upper bound
+// the paper compares its equilibrium against.
+func ExampleCooperativeThreshold() {
+	bench, _ := workload.ByName("pagerank")
+	density, _ := bench.DiscreteDensity(250)
+	res, _ := core.CooperativeThreshold(density, core.DefaultConfig())
+	fmt.Printf("optimal shared threshold %.1f keeps %.0f sprinters below Nmin\n",
+		res.Best.Threshold, res.Best.Sprinters)
+	// Output:
+	// optimal shared threshold 6.1 keeps 216 sprinters below Nmin
+}

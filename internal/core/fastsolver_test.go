@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sprintgame/internal/dist"
+	"sprintgame/internal/stats"
+	"sprintgame/internal/workload"
+)
+
+func TestFastSolverMatchesReference(t *testing.T) {
+	cfg := testConfig()
+	for _, b := range workload.Catalog() {
+		f, err := b.DiscreteDensity(200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ptrip := range []float64{0, 0.05, 0.3, 0.8, 1} {
+			ref, err := SolveBellman(f, ptrip, cfg)
+			if err != nil {
+				t.Fatalf("%s reference: %v", b.Name, err)
+			}
+			fast, err := SolveBellmanFast(f, ptrip, cfg)
+			if err != nil {
+				t.Fatalf("%s fast: %v", b.Name, err)
+			}
+			tol := 1e-4 * (1 + ref.VA)
+			if !almost(ref.VA, fast.VA, tol) || !almost(ref.VC, fast.VC, tol) ||
+				!almost(ref.VR, fast.VR, tol) {
+				t.Errorf("%s ptrip=%v: values diverge (%v,%v,%v) vs (%v,%v,%v)",
+					b.Name, ptrip, ref.VA, ref.VC, ref.VR, fast.VA, fast.VC, fast.VR)
+			}
+			if !almost(ref.Threshold, fast.Threshold, 1e-4*(1+ref.Threshold)) {
+				t.Errorf("%s ptrip=%v: thresholds %v vs %v",
+					b.Name, ptrip, ref.Threshold, fast.Threshold)
+			}
+		}
+	}
+}
+
+func TestFastSolverValidation(t *testing.T) {
+	cfg := testConfig()
+	if _, err := SolveBellmanFast(nil, 0, cfg); err == nil {
+		t.Error("nil density should error")
+	}
+	f := bimodalDensity()
+	if _, err := SolveBellmanFast(f, -0.1, cfg); err == nil {
+		t.Error("bad ptrip should error")
+	}
+	bad := cfg
+	bad.MaxValueIter = 2
+	if _, err := SolveBellmanFast(f, 0, bad); err == nil {
+		t.Error("starved iterations should error")
+	}
+}
+
+// Property: the two solvers agree on random densities and parameters.
+func TestFastSolverEquivalenceProperty(t *testing.T) {
+	cfg := testConfig()
+	cfg.ValueTol = 1e-9
+	check := func(seed uint32) bool {
+		r := stats.NewRNG(uint64(seed))
+		n := r.Intn(40) + 2
+		vals := make([]float64, n)
+		ws := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.Range(1, 12)
+			ws[i] = r.Float64() + 0.01
+		}
+		f, err := dist.NewDiscrete(vals, ws)
+		if err != nil {
+			return false
+		}
+		c := cfg
+		c.Pc = r.Float64() * 0.95
+		c.Pr = r.Float64() * 0.95
+		ptrip := r.Float64()
+		ref, err1 := SolveBellman(f, ptrip, c)
+		fast, err2 := SolveBellmanFast(f, ptrip, c)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almost(ref.Threshold, fast.Threshold, 1e-3*(1+ref.Threshold))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

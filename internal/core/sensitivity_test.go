@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestSweepPcThresholdRises(t *testing.T) {
+	// Figure 13, panel 1: thresholds increase with cooling duration.
+	f := density(t, "decision")
+	pts, err := SweepPc(f, testConfig(), []float64{0.05, 0.25, 0.5, 0.75, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Threshold < pts[i-1].Threshold-1e-6 {
+			t.Errorf("threshold fell from %v to %v as pc rose to %v",
+				pts[i-1].Threshold, pts[i].Threshold, pts[i].Param)
+		}
+	}
+	// The rise is substantial across the sweep.
+	if pts[len(pts)-1].Threshold <= pts[0].Threshold {
+		t.Error("threshold did not rise across the pc sweep")
+	}
+}
+
+func TestSweepPrThresholdInsensitive(t *testing.T) {
+	// Figure 13, panel 2: thresholds are (nearly) insensitive to recovery
+	// duration — each agent sprints for her own benefit while hoping
+	// others avoid the breaker.
+	f := density(t, "decision")
+	pts, err := SweepPr(f, testConfig(), []float64{0.1, 0.3, 0.5, 0.7, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := pts[0].Threshold, pts[0].Threshold
+	for _, p := range pts {
+		if p.Threshold < min {
+			min = p.Threshold
+		}
+		if p.Threshold > max {
+			max = p.Threshold
+		}
+	}
+	if (max-min)/max > 0.15 {
+		t.Errorf("threshold varies %v..%v across pr, want near-flat", min, max)
+	}
+}
+
+func TestSweepNMinSmallBoundsLowerThresholds(t *testing.T) {
+	// Figure 13, panel 3: when Nmin is small the probability of tripping
+	// is high and agents sprint aggressively (lower thresholds).
+	f := density(t, "decision")
+	pts, err := SweepNMin(f, testConfig(), []float64{50, 150, 250, 450, 650})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Threshold >= pts[len(pts)-1].Threshold {
+		t.Errorf("threshold at Nmin=50 (%v) should be below threshold at Nmin=650 (%v)",
+			pts[0].Threshold, pts[len(pts)-1].Threshold)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Threshold < pts[i-1].Threshold-0.05 {
+			t.Errorf("threshold not (weakly) rising in Nmin at %v", pts[i].Param)
+		}
+	}
+}
+
+func TestSweepNMaxSmallBoundsLowerThresholds(t *testing.T) {
+	// Figure 13, panel 4: same effect for Nmax.
+	f := density(t, "decision")
+	pts, err := SweepNMax(f, testConfig(), []float64{300, 450, 600, 750, 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Threshold > pts[len(pts)-1].Threshold+1e-6 {
+		t.Errorf("threshold should not fall as Nmax grows: %v .. %v",
+			pts[0].Threshold, pts[len(pts)-1].Threshold)
+	}
+}
+
+func TestEfficiencyCurveDecays(t *testing.T) {
+	// Figure 12: efficiency falls as recovery becomes more expensive
+	// (pr -> 1).
+	f := density(t, "decision")
+	pts, err := EfficiencyCurve(f, testConfig(), []float64{0.2, 0.6, 0.88, 0.96, 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := pts[0].Threshold, pts[len(pts)-1].Threshold // Threshold carries the ratio
+	if first < 0.7 {
+		t.Errorf("efficiency at cheap recovery = %v, want high", first)
+	}
+	if last >= first {
+		t.Errorf("efficiency did not decay: %v -> %v", first, last)
+	}
+	for _, p := range pts {
+		if p.Threshold < 0 || p.Threshold > 1.01 {
+			t.Errorf("efficiency %v at pr=%v out of range", p.Threshold, p.Param)
+		}
+	}
+}
+
+func TestSweepPropagatesErrors(t *testing.T) {
+	f := density(t, "decision")
+	cfg := testConfig()
+	cfg.MaxValueIter = 1
+	if _, err := SweepPc(f, cfg, []float64{0.5}); err == nil {
+		t.Error("sweep should propagate solver errors")
+	}
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"testing"
+
+	"sprintgame/internal/power"
+	"sprintgame/internal/workload"
+)
+
+func tripModel(nmin, nmax float64) power.TripModel {
+	return power.LinearTripModel{NMin: nmin, NMax: nmax}
+}
+
+func TestEvaluateThresholdValidation(t *testing.T) {
+	cfg := testConfig()
+	if _, err := EvaluateThreshold(nil, 1, cfg); err == nil {
+		t.Error("nil density should error")
+	}
+	bad := cfg
+	bad.N = 0
+	if _, err := EvaluateThreshold(bimodalDensity(), 1, bad); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+func TestEvaluateThresholdNeverSprint(t *testing.T) {
+	// A threshold above the whole support: nobody sprints, nothing trips,
+	// rate is exactly the normal-mode baseline 1.
+	f := bimodalDensity()
+	_, hi := f.Support()
+	th, err := EvaluateThreshold(f, hi+1, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(th.Rate, 1, 1e-9) {
+		t.Errorf("never-sprint rate = %v, want 1", th.Rate)
+	}
+	if th.SprintProb != 0 || th.Ptrip != 0 || th.Sprinters != 0 {
+		t.Errorf("never-sprint stats wrong: %+v", th)
+	}
+	if !almost(th.StateShares[0], 1, 1e-9) {
+		t.Errorf("agent should always be active, shares = %v", th.StateShares)
+	}
+}
+
+func TestEvaluateThresholdGreedy(t *testing.T) {
+	// Threshold below the support: everyone sprints whenever active.
+	f := bimodalDensity()
+	lo, _ := f.Support()
+	th, err := EvaluateThreshold(f, lo-1, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.SprintProb != 1 {
+		t.Errorf("greedy sprint prob = %v", th.SprintProb)
+	}
+	// ps=1, pc=0.5: pA = 1/3, nS = 333, Ptrip = 1/6.
+	if !almost(th.Sprinters, 1000.0/3, 0.5) {
+		t.Errorf("greedy sprinters = %v", th.Sprinters)
+	}
+	if !almost(th.Ptrip, 1.0/6, 0.01) {
+		t.Errorf("greedy Ptrip = %v", th.Ptrip)
+	}
+	// Recovery time hurts: the rate must be below the no-emergency bound
+	// pA*E[u] + pC*1.
+	bound := th.StateShares[0]*f.Mean() + th.StateShares[1]
+	if th.Rate > bound+1e-9 {
+		t.Errorf("rate %v above bound %v", th.Rate, bound)
+	}
+	if th.StateShares[2] <= 0 {
+		t.Error("greedy play should spend time in recovery")
+	}
+}
+
+func TestStateSharesSumToOne(t *testing.T) {
+	f := bimodalDensity()
+	for _, th := range []float64{0, 2, 4, 6, 12} {
+		tp, err := EvaluateThreshold(f, th, testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := tp.StateShares[0] + tp.StateShares[1] + tp.StateShares[2]
+		if !almost(sum, 1, 1e-9) {
+			t.Errorf("threshold %v: shares sum to %v", th, sum)
+		}
+	}
+}
+
+func TestCooperativeThresholdBeatsExtremes(t *testing.T) {
+	f := bimodalDensity()
+	cfg := testConfig()
+	res, err := CooperativeThreshold(f, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated < f.Len() {
+		t.Errorf("searched only %d candidates", res.Evaluated)
+	}
+	lo, hi := f.Support()
+	never, _ := EvaluateThreshold(f, hi+1, cfg)
+	greedy, _ := EvaluateThreshold(f, lo-1, cfg)
+	if res.Best.Rate < never.Rate || res.Best.Rate < greedy.Rate {
+		t.Errorf("C-T rate %v worse than extremes (%v, %v)",
+			res.Best.Rate, never.Rate, greedy.Rate)
+	}
+}
+
+func TestCooperativeKeepsSprintersNearNmin(t *testing.T) {
+	// The optimal cooperative threshold stops just short of tripping the
+	// breaker: expected sprinters at or below Nmin = 250 (Figure 6, C-T
+	// panel hovers at the grey Nmin line).
+	for _, name := range []string{"decision", "linear", "pagerank"} {
+		b, _ := workload.ByName(name)
+		f, _ := b.DiscreteDensity(250)
+		res, err := CooperativeThreshold(f, testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Best.Sprinters > 255 {
+			t.Errorf("%s: C-T sprinters = %v, want <= Nmin", name, res.Best.Sprinters)
+		}
+		if res.Best.Ptrip > 0.02 {
+			t.Errorf("%s: C-T trips with probability %v", name, res.Best.Ptrip)
+		}
+	}
+}
+
+func TestEfficiencyMatchesPaperShape(t *testing.T) {
+	// §6.2/§6.4: E-T delivers a large fraction of C-T for most
+	// applications; the narrow-profile outliers (Linear Regression,
+	// Correlation) fall far below because their equilibria are greedy.
+	cfg := testConfig()
+	type band struct{ lo, hi float64 }
+	cases := map[string]band{
+		"decision":    {0.8, 1.001},
+		"pagerank":    {0.9, 1.001},
+		"cc":          {0.9, 1.001},
+		"linear":      {0.3, 0.7},
+		"correlation": {0.3, 0.7},
+	}
+	for name, want := range cases {
+		b, _ := workload.ByName(name)
+		f, _ := b.DiscreteDensity(250)
+		ratio, et, ct, err := Efficiency(f, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ratio < want.lo || ratio > want.hi {
+			t.Errorf("%s: efficiency %v outside [%v, %v] (ET %v, CT %v)",
+				name, ratio, want.lo, want.hi, et.Rate, ct.Rate)
+		}
+	}
+}
+
+func TestEfficiencyNeverExceedsOne(t *testing.T) {
+	// C-T is an upper bound: equilibrium play cannot beat the cooperative
+	// optimum (within search resolution).
+	for _, b := range workload.Catalog() {
+		f, _ := b.DiscreteDensity(250)
+		ratio, _, _, err := Efficiency(f, testConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if ratio > 1.005 {
+			t.Errorf("%s: efficiency %v exceeds 1", b.Name, ratio)
+		}
+		if ratio <= 0 {
+			t.Errorf("%s: non-positive efficiency %v", b.Name, ratio)
+		}
+	}
+}
+
+func TestThroughputMonotoneNearOptimum(t *testing.T) {
+	// Moving the shared threshold away from the cooperative optimum in
+	// either direction cannot improve throughput.
+	f := density(t, "decision")
+	cfg := testConfig()
+	res, err := CooperativeThreshold(f, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := res.Best
+	for _, delta := range []float64{-1.5, -0.7, 0.7, 1.5} {
+		tp, err := EvaluateThreshold(f, best.Threshold+delta, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tp.Rate > best.Rate+1e-9 {
+			t.Errorf("threshold %+v beats the cooperative optimum (%v > %v)",
+				delta, tp.Rate, best.Rate)
+		}
+	}
+}
+
+func TestDeviantRateValidation(t *testing.T) {
+	cfg := testConfig()
+	if _, err := DeviantRate(nil, 1, 0, cfg); err == nil {
+		t.Error("nil density should error")
+	}
+	if _, err := DeviantRate(bimodalDensity(), 1, 2, cfg); err == nil {
+		t.Error("bad ptrip should error")
+	}
+	bad := cfg
+	bad.N = 0
+	if _, err := DeviantRate(bimodalDensity(), 1, 0, bad); err == nil {
+		t.Error("bad config should error")
+	}
+}
+
+func TestDeviantRateMaximizedAtEquilibriumThreshold(t *testing.T) {
+	// Against fixed system conditions, the agent's own long-run rate
+	// peaks (approximately) at her Bellman threshold: deviating in either
+	// direction cannot gain more than the discounting slack.
+	f := density(t, "decision")
+	cfg := testConfig()
+	eq, err := SingleClass("decision", f, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := eq.Classes[0].Threshold
+	best, err := DeviantRate(f, th, eq.Ptrip, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, delta := range []float64{-2, -1, -0.5, 0.5, 1, 2} {
+		r, err := DeviantRate(f, th+delta, eq.Ptrip, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r > best*1.01 {
+			t.Errorf("deviation %+v beats equilibrium: %v > %v", delta, r, best)
+		}
+	}
+	// Never sprinting yields exactly the baseline active/recovery mix.
+	never, err := DeviantRate(f, 1e9, eq.Ptrip, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if never >= best {
+		t.Errorf("never sprinting (%v) should lose to equilibrium play (%v)", never, best)
+	}
+}

@@ -1,0 +1,323 @@
+// Package dist provides the probability machinery behind the sprinting
+// game: continuous densities, histograms, empirical distributions, kernel
+// density estimation, and a discretized density representation suitable
+// for solving the game's Bellman equations.
+//
+// In the paper, each application's utility from sprinting is characterized
+// by a probability density f(u) obtained by profiling (§4.2, Figure 10).
+// The game consumes that density through the Discrete type: a finite set
+// of (utility, probability) atoms.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"sprintgame/internal/stats"
+)
+
+// Distribution is a real-valued random variable that can be sampled and
+// whose cumulative distribution can be queried.
+type Distribution interface {
+	// Mean returns the expected value.
+	Mean() float64
+	// Support returns an interval [lo, hi] outside of which the
+	// distribution has (numerically) negligible mass.
+	Support() (lo, hi float64)
+	// CDF returns P(X <= x).
+	CDF(x float64) float64
+	// Sample draws one variate using r.
+	Sample(r *stats.RNG) float64
+}
+
+// Density is a Distribution with a probability density function.
+type Density interface {
+	Distribution
+	// PDF returns the density at x.
+	PDF(x float64) float64
+}
+
+// Discrete is a finite probability mass function over utility values,
+// sorted by value. It is the representation consumed by the game's dynamic
+// program: Eq. (4) becomes a weighted sum, and Eq. (9)'s tail integral a
+// partial sum.
+type Discrete struct {
+	xs []float64 // support, ascending
+	ps []float64 // probabilities, same length, sum to 1
+}
+
+// NewDiscrete constructs a Discrete PMF from values and weights. Weights
+// must be non-negative with a positive sum; they are normalized. Values
+// need not be sorted or unique; duplicate values are merged.
+func NewDiscrete(values, weights []float64) (*Discrete, error) {
+	if len(values) == 0 {
+		return nil, errors.New("dist: empty discrete distribution")
+	}
+	if len(values) != len(weights) {
+		return nil, fmt.Errorf("dist: %d values but %d weights", len(values), len(weights))
+	}
+	type atom struct{ x, p float64 }
+	atoms := make([]atom, 0, len(values))
+	total := 0.0
+	for i, v := range values {
+		w := weights[i]
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("dist: invalid weight %v", w)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("dist: invalid value %v", v)
+		}
+		total += w
+		atoms = append(atoms, atom{v, w})
+	}
+	if total <= 0 {
+		return nil, errors.New("dist: weights sum to zero")
+	}
+	sort.Slice(atoms, func(i, j int) bool { return atoms[i].x < atoms[j].x })
+	d := &Discrete{}
+	for _, a := range atoms {
+		p := a.p / total
+		if p == 0 {
+			continue
+		}
+		if n := len(d.xs); n > 0 && d.xs[n-1] == a.x {
+			d.ps[n-1] += p
+		} else {
+			d.xs = append(d.xs, a.x)
+			d.ps = append(d.ps, p)
+		}
+	}
+	if len(d.xs) == 0 {
+		return nil, errors.New("dist: all weights zero")
+	}
+	return d, nil
+}
+
+// MustDiscrete is NewDiscrete that panics on error; for package-level
+// tables and tests.
+func MustDiscrete(values, weights []float64) *Discrete {
+	d, err := NewDiscrete(values, weights)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Uniform atoms at the given values.
+func UniformDiscrete(values []float64) (*Discrete, error) {
+	w := make([]float64, len(values))
+	for i := range w {
+		w[i] = 1
+	}
+	return NewDiscrete(values, w)
+}
+
+// Len returns the number of atoms.
+func (d *Discrete) Len() int { return len(d.xs) }
+
+// Atom returns the i-th (value, probability) pair, in ascending value
+// order.
+func (d *Discrete) Atom(i int) (x, p float64) { return d.xs[i], d.ps[i] }
+
+// Values returns a copy of the support.
+func (d *Discrete) Values() []float64 {
+	out := make([]float64, len(d.xs))
+	copy(out, d.xs)
+	return out
+}
+
+// Probs returns a copy of the probabilities.
+func (d *Discrete) Probs() []float64 {
+	out := make([]float64, len(d.ps))
+	copy(out, d.ps)
+	return out
+}
+
+// Mean returns E[X].
+func (d *Discrete) Mean() float64 {
+	m := 0.0
+	for i, x := range d.xs {
+		m += x * d.ps[i]
+	}
+	return m
+}
+
+// Variance returns Var(X).
+func (d *Discrete) Variance() float64 {
+	m := d.Mean()
+	v := 0.0
+	for i, x := range d.xs {
+		dd := x - m
+		v += dd * dd * d.ps[i]
+	}
+	return v
+}
+
+// Support returns the smallest and largest atoms.
+func (d *Discrete) Support() (lo, hi float64) { return d.xs[0], d.xs[len(d.xs)-1] }
+
+// Max returns the largest atom (the paper's umax).
+func (d *Discrete) Max() float64 { return d.xs[len(d.xs)-1] }
+
+// CDF returns P(X <= x).
+func (d *Discrete) CDF(x float64) float64 {
+	c := 0.0
+	for i, v := range d.xs {
+		if v > x {
+			break
+		}
+		c += d.ps[i]
+	}
+	return c
+}
+
+// TailProb returns P(X > threshold), the paper's Eq. (9): the probability
+// an agent's utility exceeds her sprinting threshold. The result is
+// clamped to [0, 1] to guard against accumulated rounding.
+func (d *Discrete) TailProb(threshold float64) float64 {
+	p := 0.0
+	for i := len(d.xs) - 1; i >= 0; i-- {
+		if d.xs[i] <= threshold {
+			break
+		}
+		p += d.ps[i]
+	}
+	if p > 1 {
+		return 1
+	}
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// TailMean returns E[X · 1{X > threshold}], used when evaluating the
+// throughput contribution of sprints above a threshold.
+func (d *Discrete) TailMean(threshold float64) float64 {
+	m := 0.0
+	for i := len(d.xs) - 1; i >= 0; i-- {
+		if d.xs[i] <= threshold {
+			break
+		}
+		m += d.xs[i] * d.ps[i]
+	}
+	return m
+}
+
+// Quantile returns the smallest atom x such that CDF(x) >= q.
+func (d *Discrete) Quantile(q float64) float64 {
+	if q <= 0 {
+		return d.xs[0]
+	}
+	c := 0.0
+	for i, v := range d.xs {
+		c += d.ps[i]
+		if c >= q-1e-15 {
+			return v
+		}
+	}
+	return d.xs[len(d.xs)-1]
+}
+
+// Sample draws an atom according to its probability.
+func (d *Discrete) Sample(r *stats.RNG) float64 {
+	u := r.Float64()
+	c := 0.0
+	for i, p := range d.ps {
+		c += p
+		if u < c {
+			return d.xs[i]
+		}
+	}
+	return d.xs[len(d.xs)-1]
+}
+
+// Scale returns a new Discrete with every value multiplied by k (k > 0
+// preserves ordering; k must be positive).
+func (d *Discrete) Scale(k float64) *Discrete {
+	if k <= 0 {
+		panic("dist: Scale requires positive factor")
+	}
+	xs := make([]float64, len(d.xs))
+	for i, x := range d.xs {
+		xs[i] = x * k
+	}
+	return &Discrete{xs: xs, ps: append([]float64(nil), d.ps...)}
+}
+
+// Shift returns a new Discrete with every value translated by delta.
+func (d *Discrete) Shift(delta float64) *Discrete {
+	xs := make([]float64, len(d.xs))
+	for i, x := range d.xs {
+		xs[i] = x + delta
+	}
+	return &Discrete{xs: xs, ps: append([]float64(nil), d.ps...)}
+}
+
+// FromSamples builds a Discrete by histogramming samples into bins
+// equal-width bins. Bin centers become atoms. bins must be >= 1.
+func FromSamples(samples []float64, bins int) (*Discrete, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("dist: no samples")
+	}
+	if bins < 1 {
+		return nil, errors.New("dist: bins must be >= 1")
+	}
+	h, err := NewHistogram(stats.Min(samples), stats.Max(samples)+1e-12, bins)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range samples {
+		h.Add(s)
+	}
+	return h.Discrete()
+}
+
+// Discretize converts a continuous density into a Discrete PMF with n
+// atoms placed at the centers of n equal-width bins across the density's
+// support. Each atom's mass is the CDF difference across its bin, so the
+// result integrates exactly to one even for heavy-tailed densities.
+func Discretize(d Distribution, n int) (*Discrete, error) {
+	if n < 1 {
+		return nil, errors.New("dist: n must be >= 1")
+	}
+	lo, hi := d.Support()
+	if !(hi > lo) {
+		return nil, fmt.Errorf("dist: degenerate support [%v, %v]", lo, hi)
+	}
+	width := (hi - lo) / float64(n)
+	xs := make([]float64, n)
+	ws := make([]float64, n)
+	prev := d.CDF(lo)
+	for i := 0; i < n; i++ {
+		right := lo + float64(i+1)*width
+		c := d.CDF(right)
+		xs[i] = lo + (float64(i)+0.5)*width
+		ws[i] = math.Max(c-prev, 0)
+		prev = c
+	}
+	// Fold any mass outside [lo, hi] into the end bins.
+	ws[0] += d.CDF(lo)
+	ws[n-1] += math.Max(1-prev, 0)
+	return NewDiscrete(xs, ws)
+}
+
+// DiscretizeQuantile converts a distribution into n equal-probability
+// atoms placed at quantile midpoints. Unlike the equal-width Discretize,
+// it represents heavy-tailed distributions faithfully: no single bin can
+// swallow the bulk of the mass.
+func DiscretizeQuantile(d Distribution, n int) (*Discrete, error) {
+	if n < 1 {
+		return nil, errors.New("dist: n must be >= 1")
+	}
+	xs := make([]float64, n)
+	ws := make([]float64, n)
+	for i := 0; i < n; i++ {
+		q := (float64(i) + 0.5) / float64(n)
+		xs[i] = QuantileOf(d, q)
+		ws[i] = 1
+	}
+	return NewDiscrete(xs, ws)
+}

@@ -1,0 +1,275 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sprintgame/internal/stats"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewDiscreteValidation(t *testing.T) {
+	if _, err := NewDiscrete(nil, nil); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := NewDiscrete([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := NewDiscrete([]float64{1}, []float64{-1}); err == nil {
+		t.Error("negative weight should error")
+	}
+	if _, err := NewDiscrete([]float64{1, 2}, []float64{0, 0}); err == nil {
+		t.Error("zero weights should error")
+	}
+	if _, err := NewDiscrete([]float64{math.NaN()}, []float64{1}); err == nil {
+		t.Error("NaN value should error")
+	}
+	if _, err := NewDiscrete([]float64{1}, []float64{math.Inf(1)}); err == nil {
+		t.Error("Inf weight should error")
+	}
+}
+
+func TestDiscreteNormalizationAndMerge(t *testing.T) {
+	d := MustDiscrete([]float64{2, 1, 2}, []float64{1, 1, 2})
+	if d.Len() != 2 {
+		t.Fatalf("duplicates not merged: len=%d", d.Len())
+	}
+	x0, p0 := d.Atom(0)
+	x1, p1 := d.Atom(1)
+	if x0 != 1 || x1 != 2 {
+		t.Fatalf("atoms not sorted: %v %v", x0, x1)
+	}
+	if !almost(p0, 0.25, 1e-12) || !almost(p1, 0.75, 1e-12) {
+		t.Fatalf("probabilities %v %v", p0, p1)
+	}
+}
+
+func TestDiscreteMoments(t *testing.T) {
+	d := MustDiscrete([]float64{0, 10}, []float64{1, 1})
+	if !almost(d.Mean(), 5, 1e-12) {
+		t.Errorf("mean = %v", d.Mean())
+	}
+	if !almost(d.Variance(), 25, 1e-12) {
+		t.Errorf("variance = %v", d.Variance())
+	}
+}
+
+func TestDiscreteTailProb(t *testing.T) {
+	d := MustDiscrete([]float64{1, 2, 3, 4}, []float64{1, 1, 1, 1})
+	cases := []struct{ th, want float64 }{
+		{0, 1}, {1, 0.75}, {2.5, 0.5}, {4, 0}, {5, 0},
+	}
+	for _, c := range cases {
+		if got := d.TailProb(c.th); !almost(got, c.want, 1e-12) {
+			t.Errorf("TailProb(%v) = %v, want %v", c.th, got, c.want)
+		}
+	}
+}
+
+func TestDiscreteTailMean(t *testing.T) {
+	d := MustDiscrete([]float64{1, 3}, []float64{1, 1})
+	if got := d.TailMean(2); !almost(got, 1.5, 1e-12) {
+		t.Errorf("TailMean(2) = %v, want 1.5", got)
+	}
+	if got := d.TailMean(0); !almost(got, 2, 1e-12) {
+		t.Errorf("TailMean(0) = %v, want mean 2", got)
+	}
+}
+
+func TestDiscreteCDFQuantileInverse(t *testing.T) {
+	d := MustDiscrete([]float64{1, 2, 3}, []float64{0.2, 0.3, 0.5})
+	if !almost(d.CDF(2), 0.5, 1e-12) {
+		t.Errorf("CDF(2) = %v", d.CDF(2))
+	}
+	if d.Quantile(0.5) != 2 {
+		t.Errorf("Quantile(0.5) = %v", d.Quantile(0.5))
+	}
+	if d.Quantile(0) != 1 || d.Quantile(1) != 3 {
+		t.Error("extreme quantiles wrong")
+	}
+}
+
+func TestDiscreteSampleFrequencies(t *testing.T) {
+	d := MustDiscrete([]float64{1, 2}, []float64{3, 1})
+	r := stats.NewRNG(5)
+	count1 := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if d.Sample(r) == 1 {
+			count1++
+		}
+	}
+	if f := float64(count1) / n; !almost(f, 0.75, 0.01) {
+		t.Errorf("P(1) sampled = %v, want 0.75", f)
+	}
+}
+
+func TestDiscreteScaleShift(t *testing.T) {
+	d := MustDiscrete([]float64{1, 2}, []float64{1, 1})
+	s := d.Scale(3)
+	if lo, hi := s.Support(); lo != 3 || hi != 6 {
+		t.Errorf("scaled support [%v, %v]", lo, hi)
+	}
+	sh := d.Shift(-1)
+	if lo, hi := sh.Support(); lo != 0 || hi != 1 {
+		t.Errorf("shifted support [%v, %v]", lo, hi)
+	}
+	// Original untouched.
+	if lo, _ := d.Support(); lo != 1 {
+		t.Error("Scale/Shift mutated receiver")
+	}
+}
+
+func TestDiscreteScalePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Scale(0) did not panic")
+		}
+	}()
+	MustDiscrete([]float64{1}, []float64{1}).Scale(0)
+}
+
+func TestFromSamples(t *testing.T) {
+	r := stats.NewRNG(7)
+	samples := make([]float64, 20000)
+	for i := range samples {
+		samples[i] = r.Range(0, 10)
+	}
+	d, err := FromSamples(samples, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(d.Mean(), 5, 0.1) {
+		t.Errorf("uniform sample mean via histogram = %v", d.Mean())
+	}
+	if _, err := FromSamples(nil, 10); err == nil {
+		t.Error("empty samples should error")
+	}
+	if _, err := FromSamples([]float64{1}, 0); err == nil {
+		t.Error("zero bins should error")
+	}
+}
+
+func TestDiscretizeUniform(t *testing.T) {
+	d, err := Discretize(Uniform{Lo: 0, Hi: 1}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 10 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	for i := 0; i < d.Len(); i++ {
+		if _, p := d.Atom(i); !almost(p, 0.1, 1e-9) {
+			t.Errorf("atom %d prob %v", i, p)
+		}
+	}
+	if !almost(d.Mean(), 0.5, 1e-9) {
+		t.Errorf("mean = %v", d.Mean())
+	}
+}
+
+func TestDiscretizeNormalMatchesMoments(t *testing.T) {
+	n := Normal{Mu: 4, Sigma: 1.5}
+	d, err := Discretize(n, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(d.Mean(), 4, 0.01) {
+		t.Errorf("mean = %v", d.Mean())
+	}
+	if !almost(d.Variance(), 2.25, 0.05) {
+		t.Errorf("variance = %v", d.Variance())
+	}
+	// Probabilities sum to 1.
+	total := 0.0
+	for _, p := range d.Probs() {
+		total += p
+	}
+	if !almost(total, 1, 1e-9) {
+		t.Errorf("total prob = %v", total)
+	}
+}
+
+func TestDiscretizeErrors(t *testing.T) {
+	if _, err := Discretize(Uniform{Lo: 0, Hi: 1}, 0); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := Discretize(Uniform{Lo: 1, Hi: 1}, 4); err == nil {
+		t.Error("degenerate support should error")
+	}
+}
+
+// Property: for any discrete distribution, TailProb is non-increasing in
+// the threshold and consistent with CDF: TailProb(x) ~= 1 - CDF(x) at
+// non-atom points.
+func TestTailProbProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		r := stats.NewRNG(uint64(seed))
+		n := r.Intn(20) + 1
+		vals := make([]float64, n)
+		ws := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.Range(0, 100)
+			ws[i] = r.Float64() + 0.01
+		}
+		d, err := NewDiscrete(vals, ws)
+		if err != nil {
+			return false
+		}
+		prev := 1.0
+		for x := -1.0; x < 101; x += 3.7 {
+			tp := d.TailProb(x)
+			if tp > prev+1e-12 || tp < -1e-12 || tp > 1+1e-12 {
+				return false
+			}
+			if !almost(tp, 1-d.CDF(x), 1e-9) {
+				return false
+			}
+			prev = tp
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiscretizeQuantileHeavyTail(t *testing.T) {
+	// Equal-probability atoms represent a Pareto faithfully where
+	// equal-width bins collapse it into one bucket.
+	p := Pareto{Xm: 1.5, Alpha: 1.8}
+	d, err := DiscretizeQuantile(p, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The median of the atoms matches the distribution's median.
+	wantMedian := QuantileOf(p, 0.5)
+	if got := d.Quantile(0.5); math.Abs(got-wantMedian) > 0.05*wantMedian {
+		t.Errorf("median %v, want %v", got, wantMedian)
+	}
+	// Tail probabilities track the analytic tail.
+	for _, x := range []float64{2, 4, 8, 16} {
+		want := 1 - p.CDF(x)
+		if got := d.TailProb(x); math.Abs(got-want) > 0.02 {
+			t.Errorf("tail at %v: %v vs %v", x, got, want)
+		}
+	}
+	if _, err := DiscretizeQuantile(p, 0); err == nil {
+		t.Error("n=0 should error")
+	}
+}
+
+func TestDiscretizeQuantileMatchesUniform(t *testing.T) {
+	d, err := DiscretizeQuantile(Uniform{Lo: 0, Hi: 1}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 10 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	if math.Abs(d.Mean()-0.5) > 1e-9 {
+		t.Errorf("mean = %v", d.Mean())
+	}
+}

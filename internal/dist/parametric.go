@@ -1,0 +1,271 @@
+package dist
+
+import (
+	"math"
+
+	"sprintgame/internal/stats"
+)
+
+// Uniform is the continuous uniform distribution on [Lo, Hi].
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// Mean returns (Lo+Hi)/2.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// Support returns [Lo, Hi].
+func (u Uniform) Support() (float64, float64) { return u.Lo, u.Hi }
+
+// PDF returns the density at x.
+func (u Uniform) PDF(x float64) float64 {
+	if x < u.Lo || x > u.Hi {
+		return 0
+	}
+	return 1 / (u.Hi - u.Lo)
+}
+
+// CDF returns P(X <= x).
+func (u Uniform) CDF(x float64) float64 {
+	switch {
+	case x <= u.Lo:
+		return 0
+	case x >= u.Hi:
+		return 1
+	default:
+		return (x - u.Lo) / (u.Hi - u.Lo)
+	}
+}
+
+// Sample draws a variate.
+func (u Uniform) Sample(r *stats.RNG) float64 { return r.Range(u.Lo, u.Hi) }
+
+// Normal is the Gaussian distribution with mean Mu and standard deviation
+// Sigma.
+type Normal struct {
+	Mu, Sigma float64
+}
+
+// Mean returns Mu.
+func (n Normal) Mean() float64 { return n.Mu }
+
+// Support returns Mu +/- 6 Sigma, covering all but ~2e-9 of the mass.
+func (n Normal) Support() (float64, float64) {
+	return n.Mu - 6*n.Sigma, n.Mu + 6*n.Sigma
+}
+
+// PDF returns the Gaussian density.
+func (n Normal) PDF(x float64) float64 {
+	z := (x - n.Mu) / n.Sigma
+	return math.Exp(-0.5*z*z) / (n.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// CDF returns the Gaussian CDF via erf.
+func (n Normal) CDF(x float64) float64 {
+	return 0.5 * (1 + math.Erf((x-n.Mu)/(n.Sigma*math.Sqrt2)))
+}
+
+// Sample draws a variate.
+func (n Normal) Sample(r *stats.RNG) float64 { return r.NormAt(n.Mu, n.Sigma) }
+
+// TruncNormal is a Normal restricted (by clamping mass at the boundary of
+// sampling, and renormalizing the density) to [Lo, Hi]. Utility from
+// sprinting is non-negative and bounded, so truncated Gaussians are the
+// natural building block for utility densities.
+type TruncNormal struct {
+	Mu, Sigma float64
+	Lo, Hi    float64
+}
+
+func (t TruncNormal) base() Normal { return Normal{Mu: t.Mu, Sigma: t.Sigma} }
+
+// mass returns the untruncated probability of [Lo, Hi].
+func (t TruncNormal) mass() float64 {
+	b := t.base()
+	m := b.CDF(t.Hi) - b.CDF(t.Lo)
+	if m <= 0 {
+		return 1e-300
+	}
+	return m
+}
+
+// Mean returns the truncated mean computed by quadrature.
+func (t TruncNormal) Mean() float64 {
+	return Trapezoid(func(x float64) float64 { return x * t.PDF(x) }, t.Lo, t.Hi, 512)
+}
+
+// Support returns [Lo, Hi].
+func (t TruncNormal) Support() (float64, float64) { return t.Lo, t.Hi }
+
+// PDF returns the renormalized Gaussian density inside [Lo, Hi].
+func (t TruncNormal) PDF(x float64) float64 {
+	if x < t.Lo || x > t.Hi {
+		return 0
+	}
+	return t.base().PDF(x) / t.mass()
+}
+
+// CDF returns the truncated CDF.
+func (t TruncNormal) CDF(x float64) float64 {
+	switch {
+	case x <= t.Lo:
+		return 0
+	case x >= t.Hi:
+		return 1
+	}
+	b := t.base()
+	return (b.CDF(x) - b.CDF(t.Lo)) / t.mass()
+}
+
+// Sample draws by rejection with a clamped fallback for extreme
+// truncations.
+func (t TruncNormal) Sample(r *stats.RNG) float64 {
+	for i := 0; i < 64; i++ {
+		x := r.NormAt(t.Mu, t.Sigma)
+		if x >= t.Lo && x <= t.Hi {
+			return x
+		}
+	}
+	return stats.Clamp(r.NormAt(t.Mu, t.Sigma), t.Lo, t.Hi)
+}
+
+// LogNormal is the log-normal distribution: exp(N(Mu, Sigma^2)).
+type LogNormal struct {
+	Mu, Sigma float64
+}
+
+// Mean returns exp(Mu + Sigma^2/2).
+func (l LogNormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+// Support covers quantiles from ~1e-9 to ~1-1e-9.
+func (l LogNormal) Support() (float64, float64) {
+	return math.Exp(l.Mu - 6*l.Sigma), math.Exp(l.Mu + 6*l.Sigma)
+}
+
+// PDF returns the density at x (0 for x <= 0).
+func (l LogNormal) PDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := (math.Log(x) - l.Mu) / l.Sigma
+	return math.Exp(-0.5*z*z) / (x * l.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// CDF returns P(X <= x).
+func (l LogNormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 0.5 * (1 + math.Erf((math.Log(x)-l.Mu)/(l.Sigma*math.Sqrt2)))
+}
+
+// Sample draws a variate.
+func (l LogNormal) Sample(r *stats.RNG) float64 { return r.LogNormal(l.Mu, l.Sigma) }
+
+// Mixture is a finite mixture of densities with the given weights.
+// Bimodal utility densities such as PageRank's (Figure 10) are expressed
+// as two-component mixtures.
+type Mixture struct {
+	Components []Density
+	Weights    []float64 // non-negative; normalized on use
+}
+
+func (m Mixture) totalWeight() float64 {
+	t := 0.0
+	for _, w := range m.Weights {
+		t += w
+	}
+	if t <= 0 {
+		return 1
+	}
+	return t
+}
+
+// Mean returns the weighted mean of component means.
+func (m Mixture) Mean() float64 {
+	t := m.totalWeight()
+	mean := 0.0
+	for i, c := range m.Components {
+		mean += m.Weights[i] / t * c.Mean()
+	}
+	return mean
+}
+
+// Support returns the union of component supports.
+func (m Mixture) Support() (float64, float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, c := range m.Components {
+		l, h := c.Support()
+		lo = math.Min(lo, l)
+		hi = math.Max(hi, h)
+	}
+	return lo, hi
+}
+
+// PDF returns the mixture density.
+func (m Mixture) PDF(x float64) float64 {
+	t := m.totalWeight()
+	p := 0.0
+	for i, c := range m.Components {
+		p += m.Weights[i] / t * c.PDF(x)
+	}
+	return p
+}
+
+// CDF returns the mixture CDF.
+func (m Mixture) CDF(x float64) float64 {
+	t := m.totalWeight()
+	p := 0.0
+	for i, c := range m.Components {
+		p += m.Weights[i] / t * c.CDF(x)
+	}
+	return p
+}
+
+// Sample draws from a component chosen by weight.
+func (m Mixture) Sample(r *stats.RNG) float64 {
+	i := r.Choice(m.Weights)
+	return m.Components[i].Sample(r)
+}
+
+// Pareto is the Pareto (power-law) distribution with scale Xm > 0 and
+// shape Alpha > 0: P(X > x) = (Xm/x)^Alpha for x >= Xm. Heavy-tailed
+// sprint utilities — a few epochs with enormous gains — are the stress
+// case for threshold strategies, exercised by the abl-tails ablation.
+type Pareto struct {
+	Xm, Alpha float64
+}
+
+// Mean returns Alpha*Xm/(Alpha-1) for Alpha > 1, +Inf otherwise.
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Xm / (p.Alpha - 1)
+}
+
+// Support covers quantiles up to 1 - 1e-6.
+func (p Pareto) Support() (float64, float64) {
+	return p.Xm, p.Xm * math.Pow(1e-6, -1/p.Alpha)
+}
+
+// PDF returns the density at x.
+func (p Pareto) PDF(x float64) float64 {
+	if x < p.Xm {
+		return 0
+	}
+	return p.Alpha * math.Pow(p.Xm, p.Alpha) / math.Pow(x, p.Alpha+1)
+}
+
+// CDF returns P(X <= x).
+func (p Pareto) CDF(x float64) float64 {
+	if x < p.Xm {
+		return 0
+	}
+	return 1 - math.Pow(p.Xm/x, p.Alpha)
+}
+
+// Sample draws by inverse transform.
+func (p Pareto) Sample(r *stats.RNG) float64 {
+	return p.Xm * math.Pow(1-r.Float64(), -1/p.Alpha)
+}

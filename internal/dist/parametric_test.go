@@ -1,0 +1,205 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sprintgame/internal/stats"
+)
+
+// checkDensity verifies that d's PDF integrates to ~1 over its support,
+// the CDF is monotone from ~0 to ~1, and sampling matches the mean.
+func checkDensity(t *testing.T, name string, d Density, meanTol float64) {
+	t.Helper()
+	lo, hi := d.Support()
+	integral := Simpson(d.PDF, lo, hi, 2000)
+	if !almost(integral, 1, 0.01) {
+		t.Errorf("%s: PDF integrates to %v", name, integral)
+	}
+	prev := -1e-12
+	for i := 0; i <= 50; i++ {
+		x := lo + (hi-lo)*float64(i)/50
+		c := d.CDF(x)
+		if c < prev-1e-9 || c < -1e-9 || c > 1+1e-9 {
+			t.Fatalf("%s: CDF not monotone/valid at %v: %v (prev %v)", name, x, c, prev)
+		}
+		prev = c
+	}
+	if d.CDF(lo) > 0.01 || d.CDF(hi) < 0.99 {
+		t.Errorf("%s: CDF range [%v, %v]", name, d.CDF(lo), d.CDF(hi))
+	}
+	r := stats.NewRNG(123)
+	acc := stats.Accumulator{}
+	for i := 0; i < 50000; i++ {
+		acc.Add(d.Sample(r))
+	}
+	if !almost(acc.Mean(), d.Mean(), meanTol) {
+		t.Errorf("%s: sampled mean %v vs analytic %v", name, acc.Mean(), d.Mean())
+	}
+}
+
+func TestUniformDensity(t *testing.T) {
+	u := Uniform{Lo: 2, Hi: 6}
+	checkDensity(t, "uniform", u, 0.05)
+	if u.PDF(1) != 0 || u.PDF(7) != 0 {
+		t.Error("PDF outside support should be 0")
+	}
+	if !almost(u.PDF(3), 0.25, 1e-12) {
+		t.Errorf("PDF inside = %v", u.PDF(3))
+	}
+	if !almost(u.CDF(4), 0.5, 1e-12) {
+		t.Errorf("CDF(4) = %v", u.CDF(4))
+	}
+}
+
+func TestNormalDensity(t *testing.T) {
+	n := Normal{Mu: 5, Sigma: 2}
+	checkDensity(t, "normal", n, 0.05)
+	if !almost(n.CDF(5), 0.5, 1e-12) {
+		t.Errorf("CDF at mean = %v", n.CDF(5))
+	}
+	// 68-95 rule.
+	if p := n.CDF(7) - n.CDF(3); !almost(p, 0.6827, 0.001) {
+		t.Errorf("P within 1 sigma = %v", p)
+	}
+}
+
+func TestTruncNormalDensity(t *testing.T) {
+	tn := TruncNormal{Mu: 4, Sigma: 2, Lo: 3, Hi: 5}
+	checkDensity(t, "truncnormal", tn, 0.05)
+	if tn.PDF(2.9) != 0 || tn.PDF(5.1) != 0 {
+		t.Error("PDF outside truncation should be 0")
+	}
+	if tn.CDF(3) != 0 || tn.CDF(5) != 1 {
+		t.Error("CDF at bounds wrong")
+	}
+	// Mean of a symmetric truncation equals Mu.
+	if !almost(tn.Mean(), 4, 0.01) {
+		t.Errorf("truncated mean = %v", tn.Mean())
+	}
+	// Samples stay in bounds.
+	r := stats.NewRNG(9)
+	for i := 0; i < 5000; i++ {
+		if v := tn.Sample(r); v < 3 || v > 5 {
+			t.Fatalf("sample %v out of truncation", v)
+		}
+	}
+}
+
+func TestTruncNormalExtreme(t *testing.T) {
+	// Truncation far in the tail: samples should still land in bounds.
+	tn := TruncNormal{Mu: 0, Sigma: 1, Lo: 5, Hi: 6}
+	r := stats.NewRNG(11)
+	for i := 0; i < 100; i++ {
+		if v := tn.Sample(r); v < 5 || v > 6 {
+			t.Fatalf("extreme truncation sample %v", v)
+		}
+	}
+}
+
+func TestLogNormalDensity(t *testing.T) {
+	l := LogNormal{Mu: 1, Sigma: 0.5}
+	checkDensity(t, "lognormal", l, 0.1)
+	if l.PDF(-1) != 0 || l.CDF(-1) != 0 {
+		t.Error("lognormal should have no mass below 0")
+	}
+	want := math.Exp(1 + 0.125)
+	if !almost(l.Mean(), want, 1e-9) {
+		t.Errorf("mean = %v, want %v", l.Mean(), want)
+	}
+}
+
+func TestMixtureDensity(t *testing.T) {
+	m := Mixture{
+		Components: []Density{
+			TruncNormal{Mu: 2, Sigma: 0.4, Lo: 0.5, Hi: 4},
+			TruncNormal{Mu: 10, Sigma: 1, Lo: 6, Hi: 15},
+		},
+		Weights: []float64{0.6, 0.4},
+	}
+	checkDensity(t, "mixture", m, 0.1)
+	// Bimodality: density at the two means exceeds density between them.
+	between := m.PDF(5)
+	if m.PDF(2) <= between || m.PDF(10) <= between {
+		t.Error("mixture should be bimodal")
+	}
+	// Mean is the weighted component mean.
+	want := 0.6*2 + 0.4*10
+	if !almost(m.Mean(), want, 0.05) {
+		t.Errorf("mixture mean %v, want ~%v", m.Mean(), want)
+	}
+}
+
+func TestQuantileOfInvertsCDF(t *testing.T) {
+	n := Normal{Mu: 3, Sigma: 1}
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.9} {
+		x := QuantileOf(n, q)
+		if !almost(n.CDF(x), q, 1e-6) {
+			t.Errorf("CDF(QuantileOf(%v)) = %v", q, n.CDF(x))
+		}
+	}
+	lo, hi := n.Support()
+	if QuantileOf(n, 0) != lo || QuantileOf(n, 1) != hi {
+		t.Error("extreme quantiles should hit support bounds")
+	}
+}
+
+// Property: Discretize of any (valid) truncated normal preserves the mean
+// closely and yields a proper PMF.
+func TestDiscretizePreservesMeanProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		r := stats.NewRNG(uint64(seed))
+		mu := r.Range(1, 10)
+		sigma := r.Range(0.2, 3)
+		tn := TruncNormal{Mu: mu, Sigma: sigma, Lo: 0, Hi: mu + 4*sigma}
+		d, err := Discretize(tn, 300)
+		if err != nil {
+			return false
+		}
+		total := 0.0
+		for _, p := range d.Probs() {
+			if p < 0 {
+				return false
+			}
+			total += p
+		}
+		if !almost(total, 1, 1e-9) {
+			return false
+		}
+		return almost(d.Mean(), tn.Mean(), 0.02*(1+mu))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParetoDensity(t *testing.T) {
+	p := Pareto{Xm: 1, Alpha: 2.5}
+	checkDensity(t, "pareto", p, 0.1)
+	if p.PDF(0.5) != 0 || p.CDF(0.5) != 0 {
+		t.Error("no mass below the scale")
+	}
+	want := 2.5 / 1.5
+	if !almost(p.Mean(), want, 1e-12) {
+		t.Errorf("mean = %v, want %v", p.Mean(), want)
+	}
+	// Infinite-mean regime.
+	if !math.IsInf(Pareto{Xm: 1, Alpha: 1}.Mean(), 1) {
+		t.Error("alpha <= 1 should have infinite mean")
+	}
+	// Tail identity: P(X > x) = (xm/x)^alpha.
+	if got := 1 - p.CDF(4); !almost(got, math.Pow(0.25, 2.5), 1e-12) {
+		t.Errorf("tail at 4 = %v", got)
+	}
+}
+
+func TestParetoSamplesAboveScale(t *testing.T) {
+	p := Pareto{Xm: 2, Alpha: 3}
+	r := stats.NewRNG(77)
+	for i := 0; i < 10000; i++ {
+		if v := p.Sample(r); v < 2 {
+			t.Fatalf("sample %v below scale", v)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTrapezoidPolynomial(t *testing.T) {
+	// Trapezoid is exact for linear functions.
+	got := Trapezoid(func(x float64) float64 { return 2*x + 1 }, 0, 3, 1)
+	if !almost(got, 12, 1e-12) {
+		t.Errorf("linear integral = %v", got)
+	}
+	got = Trapezoid(func(x float64) float64 { return x * x }, 0, 1, 2000)
+	if !almost(got, 1.0/3, 1e-6) {
+		t.Errorf("quadratic integral = %v", got)
+	}
+}
+
+func TestTrapezoidMinPanels(t *testing.T) {
+	// n < 1 should be coerced, not crash.
+	got := Trapezoid(func(x float64) float64 { return 1 }, 0, 2, 0)
+	if !almost(got, 2, 1e-12) {
+		t.Errorf("integral = %v", got)
+	}
+}
+
+func TestSimpsonExactForCubics(t *testing.T) {
+	got := Simpson(func(x float64) float64 { return x * x * x }, 0, 2, 2)
+	if !almost(got, 4, 1e-12) {
+		t.Errorf("cubic integral = %v", got)
+	}
+	// Odd n gets rounded up rather than failing.
+	got = Simpson(func(x float64) float64 { return x }, 0, 1, 3)
+	if !almost(got, 0.5, 1e-12) {
+		t.Errorf("integral = %v", got)
+	}
+}
+
+func TestSimpsonTranscendental(t *testing.T) {
+	got := Simpson(math.Sin, 0, math.Pi, 200)
+	if !almost(got, 2, 1e-8) {
+		t.Errorf("sin integral = %v", got)
+	}
+}
+
+func TestAdaptiveSimpson(t *testing.T) {
+	// Sharp peak: adaptive quadrature should still capture the mass.
+	peak := func(x float64) float64 {
+		return math.Exp(-x * x * 400)
+	}
+	got := AdaptiveSimpson(peak, -2, 2, 1e-10)
+	want := math.Sqrt(math.Pi) / 20
+	if !almost(got, want, 1e-8) {
+		t.Errorf("peak integral = %v, want %v", got, want)
+	}
+}
+
+func TestAdaptiveSimpsonSmooth(t *testing.T) {
+	got := AdaptiveSimpson(math.Exp, 0, 1, 1e-12)
+	if !almost(got, math.E-1, 1e-10) {
+		t.Errorf("exp integral = %v", got)
+	}
+}
+
+func TestBisectRoot(t *testing.T) {
+	root := Bisect(func(x float64) float64 { return x*x - 2 }, 0, 2, 1e-12)
+	if !almost(root, math.Sqrt2, 1e-10) {
+		t.Errorf("root = %v", root)
+	}
+}
+
+func TestBisectExactEndpoints(t *testing.T) {
+	if got := Bisect(func(x float64) float64 { return x }, 0, 1, 1e-9); got != 0 {
+		t.Errorf("root at left endpoint = %v", got)
+	}
+	if got := Bisect(func(x float64) float64 { return x - 1 }, 0, 1, 1e-9); got != 1 {
+		t.Errorf("root at right endpoint = %v", got)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	// No sign change: returns endpoint with smaller |g|.
+	got := Bisect(func(x float64) float64 { return x + 10 }, 0, 1, 1e-9)
+	if got != 0 {
+		t.Errorf("non-bracketing bisect = %v, want 0", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.5, 1, 3, 3.5, 9, 100, -7} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Errorf("total = %v", h.Total())
+	}
+	// Out-of-range samples clamp to end bins.
+	if h.Count(0) != 3 { // 0.5, 1, -7
+		t.Errorf("bin 0 count = %v", h.Count(0))
+	}
+	if h.Count(4) != 2 { // 9, 100
+		t.Errorf("bin 4 count = %v", h.Count(4))
+	}
+	if h.Bins() != 5 {
+		t.Errorf("bins = %d", h.Bins())
+	}
+	if h.BinCenter(0) != 1 {
+		t.Errorf("bin center = %v", h.BinCenter(0))
+	}
+	if l, r := h.BinRange(1); l != 2 || r != 4 {
+		t.Errorf("bin range [%v, %v)", l, r)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("zero bins should error")
+	}
+	if _, err := NewHistogram(1, 1, 3); err == nil {
+		t.Error("empty range should error")
+	}
+}
+
+func TestHistogramDensityNormalization(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 10)
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i%10)/10 + 0.05)
+	}
+	integral := 0.0
+	for i := 0; i < h.Bins(); i++ {
+		integral += h.DensityAt(h.BinCenter(i)) * 0.1
+	}
+	if !almost(integral, 1, 1e-9) {
+		t.Errorf("histogram density integral = %v", integral)
+	}
+	if h.DensityAt(-1) != 0 || h.DensityAt(2) != 0 {
+		t.Error("density outside range should be 0")
+	}
+}
+
+func TestHistogramDiscreteAndMode(t *testing.T) {
+	h, _ := NewHistogram(0, 3, 3)
+	h.AddWeighted(0.5, 1)
+	h.AddWeighted(1.5, 5)
+	h.AddWeighted(2.5, 2)
+	if h.Mode() != 1.5 {
+		t.Errorf("mode = %v", h.Mode())
+	}
+	d, err := h.Discrete()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(d.TailProb(1), 7.0/8, 1e-12) {
+		t.Errorf("tail = %v", d.TailProb(1))
+	}
+}
+
+func TestHistogramEmptyDiscrete(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 2)
+	if _, err := h.Discrete(); err == nil {
+		t.Error("empty histogram Discrete should error")
+	}
+	if h.DensityAt(0.5) != 0 {
+		t.Error("empty histogram density should be 0")
+	}
+}
+
+func TestHistogramIgnoresBadWeights(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 2)
+	h.AddWeighted(0.5, -1)
+	h.AddWeighted(0.5, 0)
+	h.Add(math.NaN())
+	if h.Total() != 0 {
+		t.Errorf("total = %v", h.Total())
+	}
+}

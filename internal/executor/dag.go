@@ -1,0 +1,202 @@
+package executor
+
+import (
+	"container/heap"
+	"fmt"
+
+	"sprintgame/internal/stats"
+)
+
+// The paper's executor "supports task-parallel computation by dividing an
+// application into tasks, constructing a task dependence graph, and
+// scheduling tasks dynamically based on available resources" (§2.3).
+// Run executes jobs whose stages form chains; RunDAG generalizes to
+// arbitrary stage DAGs within a job, with independent stages sharing the
+// chip's cores.
+
+// DAGJobSpec is a job whose stages form a dependency DAG.
+type DAGJobSpec struct {
+	Name   string
+	Stages []StageSpec
+	// Deps[i] lists the stage indices that must complete before stage i
+	// may start. Indices must be < i (topological input order).
+	Deps [][]int
+}
+
+// Validate checks the job's stages and dependency structure.
+func (j DAGJobSpec) Validate() error {
+	if len(j.Stages) == 0 {
+		return fmt.Errorf("executor: DAG job %q has no stages", j.Name)
+	}
+	if len(j.Deps) != len(j.Stages) {
+		return fmt.Errorf("executor: DAG job %q has %d stages but %d dependency lists",
+			j.Name, len(j.Stages), len(j.Deps))
+	}
+	for i, s := range j.Stages {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		for _, d := range j.Deps[i] {
+			if d < 0 || d >= i {
+				return fmt.Errorf("executor: DAG job %q stage %d depends on invalid stage %d (need topological order)",
+					j.Name, i, d)
+			}
+		}
+	}
+	return nil
+}
+
+// Chain converts a plain sequential job into an equivalent DAG job.
+func Chain(j JobSpec) DAGJobSpec {
+	deps := make([][]int, len(j.Stages))
+	for i := range deps {
+		if i > 0 {
+			deps[i] = []int{i - 1}
+		}
+	}
+	return DAGJobSpec{Name: j.Name, Stages: j.Stages, Deps: deps}
+}
+
+// completion is a scheduled task-finish event.
+type completion struct {
+	timeS float64
+	stage int
+	task  int
+}
+
+// completionHeap is a min-heap of completions by time.
+type completionHeap []completion
+
+func (h completionHeap) Len() int            { return len(h) }
+func (h completionHeap) Less(i, j int) bool  { return h[i].timeS < h[j].timeS }
+func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// RunDAG executes a sequence of DAG jobs in the given mode. Stages whose
+// dependencies have completed run concurrently, their tasks dynamically
+// sharing the chip's cores (subject to each stage's parallelism cap).
+// Jobs still complete in sequence, as in the paper's methodology.
+func RunDAG(name string, jobs []DAGJobSpec, mode Mode, seed uint64) (*Result, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("executor: application %q has no jobs", name)
+	}
+	if mode.Cores <= 0 || mode.FreqGHz <= 0 {
+		return nil, fmt.Errorf("executor: invalid mode %+v", mode)
+	}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	rng := stats.NewRNG(seed)
+	res := &Result{App: name, Mode: mode}
+	freqGain := mode.FreqGHz / RefFreqGHz
+	now := 0.0
+
+	for ji, job := range jobs {
+		n := len(job.Stages)
+		// Pre-draw task durations (mode-independent work identity).
+		durs := make([][]float64, n)
+		for si, st := range job.Stages {
+			mu, sigma := logNormalParams(st.MeanTaskS, st.TaskCV)
+			durs[si] = make([]float64, st.Tasks)
+			for i := range durs[si] {
+				base := rng.LogNormal(mu, sigma)
+				durs[si][i] = base * (st.MemBoundFrac + (1-st.MemBoundFrac)/freqGain)
+			}
+		}
+
+		remainingDeps := make([]int, n)
+		dependents := make([][]int, n)
+		for i, deps := range job.Deps {
+			remainingDeps[i] = len(deps)
+			for _, d := range deps {
+				dependents[d] = append(dependents[d], i)
+			}
+		}
+		nextTask := make([]int, n)  // next task index to schedule per stage
+		inFlight := make([]int, n)  // tasks currently running per stage
+		doneTasks := make([]int, n) // finished tasks per stage
+		ready := make([]bool, n)    // dependencies satisfied
+		complete := make([]bool, n) // all tasks finished
+		for i := range ready {
+			ready[i] = remainingDeps[i] == 0
+		}
+
+		coresFree := mode.Cores
+		events := &completionHeap{}
+		heap.Init(events)
+		clock := now
+
+		// schedule fills free cores from ready stages (lowest index
+		// first: FIFO stage order, the Spark default).
+		schedule := func() {
+			for coresFree > 0 {
+				assigned := false
+				for si := 0; si < n && coresFree > 0; si++ {
+					st := job.Stages[si]
+					if !ready[si] || nextTask[si] >= st.Tasks {
+						continue
+					}
+					cap := st.Tasks
+					if st.MaxParallelism > 0 && st.MaxParallelism < cap {
+						cap = st.MaxParallelism
+					}
+					if inFlight[si] >= cap {
+						continue
+					}
+					ti := nextTask[si]
+					nextTask[si]++
+					inFlight[si]++
+					coresFree--
+					heap.Push(events, completion{
+						timeS: clock + durs[si][ti], stage: si, task: ti,
+					})
+					assigned = true
+				}
+				if !assigned {
+					return
+				}
+			}
+		}
+
+		schedule()
+		finished := 0
+		for finished < n {
+			if events.Len() == 0 {
+				return nil, fmt.Errorf("executor: DAG job %q deadlocked (unreachable stages?)", job.Name)
+			}
+			ev := heap.Pop(events).(completion)
+			clock = ev.timeS
+			coresFree++
+			inFlight[ev.stage]--
+			doneTasks[ev.stage]++
+			res.Events = append(res.Events, CompletionEvent{
+				TimeS: ev.timeS, Job: ji, Stage: ev.stage, Task: ev.task,
+			})
+			if doneTasks[ev.stage] == job.Stages[ev.stage].Tasks && !complete[ev.stage] {
+				complete[ev.stage] = true
+				finished++
+				for _, dep := range dependents[ev.stage] {
+					remainingDeps[dep]--
+					if remainingDeps[dep] == 0 {
+						ready[dep] = true
+					}
+				}
+			}
+			schedule()
+		}
+		now = clock
+	}
+	// Events are produced in completion order already.
+	res.Total = len(res.Events)
+	res.Makespan = now
+	return res, nil
+}

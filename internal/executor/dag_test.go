@@ -1,0 +1,190 @@
+package executor
+
+import (
+	"math"
+	"testing"
+)
+
+func stage(name string, tasks int) StageSpec {
+	return StageSpec{Name: name, Tasks: tasks, MeanTaskS: 0.5, TaskCV: 0.3}
+}
+
+func TestDAGValidate(t *testing.T) {
+	good := DAGJobSpec{
+		Name:   "j",
+		Stages: []StageSpec{stage("a", 10), stage("b", 10)},
+		Deps:   [][]int{nil, {0}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Deps = [][]int{nil}
+	if bad.Validate() == nil {
+		t.Error("mismatched deps length should fail")
+	}
+	bad = good
+	bad.Deps = [][]int{nil, {1}}
+	if bad.Validate() == nil {
+		t.Error("self/forward dependency should fail")
+	}
+	bad = good
+	bad.Deps = [][]int{nil, {-1}}
+	if bad.Validate() == nil {
+		t.Error("negative dependency should fail")
+	}
+	if (DAGJobSpec{Name: "e"}).Validate() == nil {
+		t.Error("empty job should fail")
+	}
+	bad = good
+	bad.Stages[0].Tasks = 0
+	if bad.Validate() == nil {
+		t.Error("invalid stage should fail")
+	}
+}
+
+func TestChainConversion(t *testing.T) {
+	j := JobSpec{Name: "j", Stages: []StageSpec{stage("a", 5), stage("b", 5), stage("c", 5)}}
+	d := Chain(j)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Deps[0]) != 0 || d.Deps[1][0] != 0 || d.Deps[2][0] != 1 {
+		t.Errorf("chain deps wrong: %v", d.Deps)
+	}
+}
+
+func TestRunDAGValidation(t *testing.T) {
+	if _, err := RunDAG("x", nil, Normal, 1); err == nil {
+		t.Error("no jobs should error")
+	}
+	j := Chain(JobSpec{Name: "j", Stages: []StageSpec{stage("a", 5)}})
+	if _, err := RunDAG("x", []DAGJobSpec{j}, Mode{}, 1); err == nil {
+		t.Error("invalid mode should error")
+	}
+	bad := j
+	bad.Deps = [][]int{{0}}
+	if _, err := RunDAG("x", []DAGJobSpec{bad}, Normal, 1); err == nil {
+		t.Error("invalid DAG should error")
+	}
+}
+
+func TestRunDAGChainMatchesRun(t *testing.T) {
+	// A chain DAG must complete the same number of tasks with a similar
+	// makespan to the sequential engine (schedulers differ slightly in
+	// tie-breaking, so allow a small tolerance).
+	app := AppSpec{
+		Name: "chain",
+		Jobs: []JobSpec{{
+			Name:   "j",
+			Stages: []StageSpec{stage("a", 60), stage("b", 60)},
+		}},
+	}
+	seq, err := Run(app, Sprint, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dag, err := RunDAG("chain", []DAGJobSpec{Chain(app.Jobs[0])}, Sprint, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dag.Total != seq.Total {
+		t.Fatalf("task counts differ: %d vs %d", dag.Total, seq.Total)
+	}
+	if math.Abs(dag.Makespan-seq.Makespan) > 0.25*seq.Makespan {
+		t.Errorf("chain DAG makespan %v vs sequential %v", dag.Makespan, seq.Makespan)
+	}
+}
+
+func TestRunDAGRespectsDependencies(t *testing.T) {
+	// Diamond: a -> (b, c) -> d. No b/c task before a completes; no d
+	// task before both b and c complete.
+	job := DAGJobSpec{
+		Name: "diamond",
+		Stages: []StageSpec{
+			stage("a", 20), stage("b", 20), stage("c", 20), stage("d", 20),
+		},
+		Deps: [][]int{nil, {0}, {0}, {1, 2}},
+	}
+	res, err := RunDAG("diamond", []DAGJobSpec{job}, Sprint, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastDone := make([]float64, 4)
+	firstStart := []float64{math.Inf(1), math.Inf(1), math.Inf(1), math.Inf(1)}
+	for _, e := range res.Events {
+		if e.TimeS > lastDone[e.Stage] {
+			lastDone[e.Stage] = e.TimeS
+		}
+		if e.TimeS < firstStart[e.Stage] {
+			firstStart[e.Stage] = e.TimeS
+		}
+	}
+	// First completion of a dependent stage cannot precede the last
+	// completion of its dependency.
+	if firstStart[1] < lastDone[0] || firstStart[2] < lastDone[0] {
+		t.Error("b/c started before a drained")
+	}
+	if firstStart[3] < lastDone[1] || firstStart[3] < lastDone[2] {
+		t.Error("d started before b and c drained")
+	}
+}
+
+func TestRunDAGParallelStagesShareCores(t *testing.T) {
+	// Two independent stages with capped parallelism: running them as a
+	// DAG overlaps them and beats the sequential chain.
+	stages := []StageSpec{
+		{Name: "a", Tasks: 40, MeanTaskS: 0.5, TaskCV: 0.1, MaxParallelism: 6},
+		{Name: "b", Tasks: 40, MeanTaskS: 0.5, TaskCV: 0.1, MaxParallelism: 6},
+	}
+	parallel := DAGJobSpec{Name: "p", Stages: stages, Deps: [][]int{nil, nil}}
+	chain := DAGJobSpec{Name: "c", Stages: stages, Deps: [][]int{nil, {0}}}
+	pRes, err := RunDAG("p", []DAGJobSpec{parallel}, Sprint, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cRes, err := RunDAG("c", []DAGJobSpec{chain}, Sprint, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 12 cores and per-stage caps of 6, independent stages overlap
+	// perfectly: the parallel version should be close to half the chain.
+	ratio := pRes.Makespan / cRes.Makespan
+	if ratio > 0.7 {
+		t.Errorf("parallel/chain makespan ratio = %v, want overlap near 0.5", ratio)
+	}
+}
+
+func TestRunDAGDeterministic(t *testing.T) {
+	job := DAGJobSpec{
+		Name:   "j",
+		Stages: []StageSpec{stage("a", 30), stage("b", 30)},
+		Deps:   [][]int{nil, nil},
+	}
+	a, _ := RunDAG("x", []DAGJobSpec{job}, Normal, 3)
+	b, _ := RunDAG("x", []DAGJobSpec{job}, Normal, 3)
+	if a.Makespan != b.Makespan {
+		t.Error("DAG execution not deterministic")
+	}
+}
+
+func TestRunDAGMultipleJobsSequential(t *testing.T) {
+	j1 := Chain(JobSpec{Name: "j1", Stages: []StageSpec{stage("a", 10)}})
+	j2 := Chain(JobSpec{Name: "j2", Stages: []StageSpec{stage("b", 10)}})
+	res, err := RunDAG("two", []DAGJobSpec{j1, j2}, Sprint, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastJ1, firstJ2 := 0.0, math.Inf(1)
+	for _, e := range res.Events {
+		if e.Job == 0 && e.TimeS > lastJ1 {
+			lastJ1 = e.TimeS
+		}
+		if e.Job == 1 && e.TimeS < firstJ2 {
+			firstJ2 = e.TimeS
+		}
+	}
+	if firstJ2 < lastJ1 {
+		t.Error("job 1 started before job 0 completed")
+	}
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"sprintgame/internal/plot"
+)
+
+// RenderCSV writes the report as CSV: a header row, then the data rows.
+// Notes are emitted as trailing comment-style rows prefixed with "#" in
+// the first column so spreadsheet imports keep them visible.
+func (r *Report) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Header); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	for _, n := range r.Notes {
+		if err := cw.Write([]string{"# " + n}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// reportJSON is the stable JSON shape of a report.
+type reportJSON struct {
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+// RenderJSON writes the report as a single JSON object.
+func (r *Report) RenderJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reportJSON{
+		ID: r.ID, Title: r.Title, Header: r.Header, Rows: r.Rows, Notes: r.Notes,
+	})
+}
+
+// RenderAs dispatches on format: "text" (default), "csv", or "json".
+func (r *Report) RenderAs(w io.Writer, format string) error {
+	switch format {
+	case "", "text":
+		return r.Render(w)
+	case "csv":
+		return r.RenderCSV(w)
+	case "json":
+		return r.RenderJSON(w)
+	case "plot":
+		return r.RenderPlot(w)
+	default:
+		return fmt.Errorf("experiments: unknown format %q (want text, csv, json, or plot)", format)
+	}
+}
+
+// RenderPlot draws the report's numeric columns as labelled ASCII
+// sparklines over the rows — a terminal rendering of the figure. Columns
+// that are not numeric in every row (and the leading label column) are
+// skipped; reports with no numeric columns fall back to the text table.
+func (r *Report) RenderPlot(w io.Writer) error {
+	var series []plot.Series
+	for c := 1; c < len(r.Header); c++ {
+		vals := make([]float64, 0, len(r.Rows))
+		ok := true
+		for _, row := range r.Rows {
+			if c >= len(row) {
+				ok = false
+				break
+			}
+			v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSpace(row[c]), "%"), 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			vals = append(vals, v)
+		}
+		if ok && len(vals) > 1 {
+			series = append(series, plot.Series{Label: r.Header[c], Values: vals})
+		}
+	}
+	if len(series) == 0 {
+		return r.Render(w)
+	}
+	title := fmt.Sprintf("== %s: %s == (x: %s, %d rows)", r.ID, r.Title, r.Header[0], len(r.Rows))
+	if err := plot.Chart(w, title, 64, series...); err != nil {
+		return err
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sprintgame/internal/core"
+	"sprintgame/internal/executor"
+	"sprintgame/internal/markov"
+	"sprintgame/internal/power"
+	"sprintgame/internal/thermal"
+	"sprintgame/internal/workload"
+)
+
+// Figure1 reproduces the sprint characterization: normalized speedup,
+// normalized power, and temperatures per benchmark, from the executor
+// simulation plus the thermal and power models.
+func Figure1(opts Options) (*Report, error) {
+	jobs := 25
+	if opts.Quick {
+		jobs = 8
+	}
+	pkg := thermal.Default()
+	temp := func(w float64) float64 { return pkg.SteadyStateC(w) }
+	r := &Report{
+		ID:     "fig1",
+		Title:  "Speedup, power, temperature when sprinting (Figure 1)",
+		Header: []string{"benchmark", "speedup", "power ratio", "normal W", "sprint W", "normal C", "sprint C"},
+	}
+	minS, maxS := 1e9, 0.0
+	for _, b := range workload.Catalog() {
+		c, err := executor.Characterize(b, jobs, opts.Seed+42, 10, temp)
+		if err != nil {
+			return nil, fmt.Errorf("fig1 %s: %w", b.Name, err)
+		}
+		r.Rows = append(r.Rows, []string{
+			b.Name, f2(c.Speedup), f2(c.PowerRatio),
+			f0(c.NormalW), f0(c.SprintW), f0(c.NormalTempC), f0(c.SprintTempC),
+		})
+		if c.Speedup < minS {
+			minS = c.Speedup
+		}
+		if c.Speedup > maxS {
+			maxS = c.Speedup
+		}
+	}
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("speedups span %.1fx-%.1fx (paper: 2-7x); power ~1.8x; sprinting runs hotter", minS, maxS))
+	return r, nil
+}
+
+// Figure2 reproduces the circuit breaker's trip curve: the tolerance band
+// (min/max trip time) across normalized currents.
+func Figure2(Options) (*Report, error) {
+	c := power.UL489Curve()
+	r := &Report{
+		ID:     "fig2",
+		Title:  "Circuit breaker trip curve (Figure 2)",
+		Header: []string{"current (x rated)", "min trip time (s)", "max trip time (s)", "region at 150s"},
+	}
+	for _, i := range []float64{1.0, 1.05, 1.13, 1.25, 1.5, 1.75, 2, 3, 5, 10, 20} {
+		minT, maxT := c.MinTripTimeS(i), c.MaxTripTimeS(i)
+		minS, maxS := "inf", "inf"
+		if i > 1 {
+			minS, maxS = fmt.Sprintf("%.3g", minT), fmt.Sprintf("%.3g", maxT)
+		}
+		r.Rows = append(r.Rows, []string{
+			f2(i), minS, maxS, c.Classify(i, 150).String(),
+		})
+	}
+	r.Notes = append(r.Notes,
+		"125-175% of rated current straddles the tolerance band for a 150 s sprint (UL489)")
+	return r, nil
+}
+
+// Figure3 reproduces the tripping probability versus the number of
+// sprinters, comparing the exact breaker-curve model with the paper's
+// linearized Eq. (11).
+func Figure3(Options) (*Report, error) {
+	rack := power.DefaultRack()
+	curve := power.CurveTripModel{Rack: rack}
+	linear := power.PaperTripModel()
+	r := &Report{
+		ID:     "fig3",
+		Title:  "Probability of tripping the breaker vs sprinters (Figure 3 / Eq. 11)",
+		Header: []string{"sprinters", "Ptrip (breaker curve)", "Ptrip (Eq. 11)"},
+	}
+	for n := 0; n <= 1000; n += 100 {
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprint(n), f3(curve.Ptrip(float64(n))), f3(linear.Ptrip(float64(n))),
+		})
+	}
+	nmin, nmax := curve.Bounds()
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("breaker-curve bounds: Nmin=%v Nmax=%v (paper: 250/750)", nmin, nmax))
+	return r, nil
+}
+
+// Figure5 validates the Active/Cooling chain: the closed-form stationary
+// active fraction against the solved chain, across sprint probabilities.
+func Figure5(Options) (*Report, error) {
+	r := &Report{
+		ID:     "fig5",
+		Title:  "Agent state chain (Figure 5): stationary active fraction",
+		Header: []string{"ps", "pc", "pA closed-form", "pA solved chain", "expected sprinters (N=1000)"},
+	}
+	cfg := core.DefaultConfig()
+	for _, ps := range []float64{0.1, 0.25, 0.5, 0.75, 1.0} {
+		chain, err := markov.ActiveCoolingChain(ps, cfg.Pc)
+		if err != nil {
+			return nil, err
+		}
+		pi, err := chain.Stationary()
+		if err != nil {
+			return nil, err
+		}
+		pa := core.ActiveFraction(ps, cfg.Pc)
+		r.Rows = append(r.Rows, []string{
+			f2(ps), f2(cfg.Pc), f3(pa), f3(pi[markov.StateActive]),
+			f0(ps * pa * float64(cfg.N)),
+		})
+	}
+	r.Notes = append(r.Notes, "Eq. (10): nS = ps * pA * N; greedy play (ps=1) yields nS=333 > Nmin")
+	return r, nil
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sprintgame/internal/core"
+	"sprintgame/internal/rackphys"
+	"sprintgame/internal/workload"
+)
+
+// ExtPhysical validates the game's epoch-level abstraction against the
+// continuous-time physical rack: it derives sprint duration, cooling,
+// recovery, and breaker bounds from the coupled thermal/electrical
+// simulation and compares them with the Table 2 values the game assumes.
+func ExtPhysical(opts Options) (*Report, error) {
+	chips := 100
+	if opts.Quick {
+		chips = 40
+	}
+	cfg := rackphys.DefaultConfig(chips)
+	const epochS = 150
+	d, err := rackphys.DeriveEpochModel(cfg, epochS)
+	if err != nil {
+		return nil, err
+	}
+	game := core.DefaultConfig()
+	nmin, _ := game.Trip.Bounds()
+
+	r := &Report{
+		ID:     "ext-physical",
+		Title:  "Continuous-time physical rack vs the epoch model (Table 2 from physics)",
+		Header: []string{"quantity", "epoch model", "physical rack", "notes"},
+	}
+	scaleNmin := nmin * float64(chips) / float64(game.N)
+	r.Rows = append(r.Rows,
+		[]string{"sprint duration (s)", "150", f0(d.SprintDurationS), "PCM exhaustion under sprint power"},
+		[]string{"cooling duration (s)", "300", f0(d.CoolDurationS), "PCM re-solidification"},
+		[]string{"pc", f2(game.Pc), f2(d.Pc), "1 - epoch/cooling"},
+		[]string{"recovery duration (epochs)", f2(1 / (1 - game.Pr)), f2(d.RecoveryDurationS / epochS), "full-rack emergency recharge"},
+		[]string{"pr", f2(game.Pr), f2(d.Pr), "design bound vs physical trip timing"},
+		[]string{fmt.Sprintf("Nmin (of %d chips)", chips), f0(scaleNmin), fmt.Sprint(d.NMin), "breaker tolerance for a 150 s sprint"},
+	)
+	r.Notes = append(r.Notes,
+		"the epoch model's pc and Nmin emerge from the physics almost exactly",
+		"physical recoveries run shorter than the pr=0.88 design bound because the breaker's tolerance time shortens the battery discharge")
+	return r, nil
+}
+
+// ExtPhysGame runs the sprinting game's policies directly on the
+// continuous-time physical rack — PCM-limited sprints, a real breaker
+// time-current element, battery-timed recovery — and compares the
+// equilibrium threshold with greedy sprinting. It validates that the
+// game's advantage survives the epoch abstraction.
+func ExtPhysGame(opts Options) (*Report, error) {
+	chips := 100
+	epochs := 300
+	if opts.Quick {
+		chips = 50
+		epochs = 120
+	}
+	b, err := workload.ByName("decision")
+	if err != nil {
+		return nil, err
+	}
+	f, err := b.DiscreteDensity(250)
+	if err != nil {
+		return nil, err
+	}
+	game := core.DefaultConfig()
+	eq, err := core.SingleClass("decision", f, game)
+	if err != nil {
+		return nil, err
+	}
+	pcfg := rackphys.DefaultConfig(chips)
+
+	etDriver, err := rackphys.NewDriver(pcfg, b, 150, opts.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	et, err := etDriver.RunThreshold(epochs, eq.Classes[0].Threshold)
+	if err != nil {
+		return nil, err
+	}
+	gDriver, err := rackphys.NewDriver(pcfg, b, 150, opts.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	g, err := gDriver.RunGreedy(epochs)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Report{
+		ID:     "ext-physgame",
+		Title:  "The game on the physical rack: E-T vs Greedy in continuous time",
+		Header: []string{"policy", "task rate", "trips", "sprint share", "recovery share"},
+	}
+	r.Rows = append(r.Rows,
+		[]string{"greedy", f3(g.TaskRate), fmt.Sprint(g.Trips), f3(g.SprintShare), f3(g.RecoveryShare)},
+		[]string{"equilibrium-threshold", f3(et.TaskRate), fmt.Sprint(et.Trips), f3(et.SprintShare), f3(et.RecoveryShare)},
+	)
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("E-T beats greedy %.1fx on the continuous substrate (epoch simulator: ~5x)", et.TaskRate/g.TaskRate),
+		"finding: Eq. (11)'s per-epoch independence requires the breaker's thermal element to reset in the inter-epoch gap — sustained sub-Nmin overload would eventually trip a real breaker (see rackphys.ResetBreakerAccumulator)")
+	return r, nil
+}

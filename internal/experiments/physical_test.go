@@ -1,0 +1,45 @@
+package experiments
+
+import "testing"
+
+func TestExtPhysicalAgreesWithEpochModel(t *testing.T) {
+	rep := run(t, "ext-physical")
+	if len(rep.Rows) != 6 {
+		t.Fatalf("expected 6 rows, got %d", len(rep.Rows))
+	}
+	// pc row: epoch model vs physical within 0.1.
+	var pcModel, pcPhys float64
+	var prModel, prPhys float64
+	for i, row := range rep.Rows {
+		switch row[0] {
+		case "pc":
+			pcModel, pcPhys = cell(t, rep, i, 1), cell(t, rep, i, 2)
+		case "pr":
+			prModel, prPhys = cell(t, rep, i, 1), cell(t, rep, i, 2)
+		}
+	}
+	if diff := pcModel - pcPhys; diff > 0.1 || diff < -0.1 {
+		t.Errorf("pc: model %v vs physical %v", pcModel, pcPhys)
+	}
+	// pr: physical is below the design bound but in its vicinity.
+	if prPhys <= 0.5 || prPhys > prModel+0.05 {
+		t.Errorf("pr: model %v vs physical %v", prModel, prPhys)
+	}
+}
+
+func TestExtPhysGame(t *testing.T) {
+	rep := run(t, "ext-physgame")
+	if len(rep.Rows) != 2 {
+		t.Fatalf("expected 2 rows, got %d", len(rep.Rows))
+	}
+	gRate := cell(t, rep, 0, 1)
+	etRate := cell(t, rep, 1, 1)
+	if etRate < 1.5*gRate {
+		t.Errorf("physical E-T (%v) should clearly beat greedy (%v)", etRate, gRate)
+	}
+	gRecovery := cell(t, rep, 0, 4)
+	etRecovery := cell(t, rep, 1, 4)
+	if gRecovery < etRecovery {
+		t.Errorf("greedy recovery share %v should exceed E-T's %v", gRecovery, etRecovery)
+	}
+}

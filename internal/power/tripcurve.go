@@ -1,0 +1,184 @@
+// Package power models the rack's electrical substrate for computational
+// sprinting: the circuit breaker and its trip curve (Figure 2 of the
+// paper), the resulting tripping probability as a function of the number
+// of sprinters (Figure 3, Eq. 11), the power distribution unit, and the
+// UPS battery that carries the rack through power emergencies (§2.2).
+package power
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TripCurve is a circuit breaker's time-current characteristic. For a
+// normalized current (a multiple of rated current) it gives a tolerance
+// band [MinTripTimeS, MaxTripTimeS]:
+//
+//   - loads held for less than MinTripTimeS never trip the breaker,
+//   - loads held for more than MaxTripTimeS always trip it,
+//   - in between, tripping is non-deterministic (the band in Figure 2).
+//
+// Both envelopes are log-log polylines, which is how breaker datasheets
+// present them.
+type TripCurve struct {
+	// anchor currents (normalized, ascending) and the two envelopes.
+	currents []float64
+	minTimes []float64
+	maxTimes []float64
+}
+
+// CurvePoint is one anchor of a trip-curve envelope pair.
+type CurvePoint struct {
+	// CurrentNorm is the load as a multiple of rated current.
+	CurrentNorm float64
+	// MinTimeS and MaxTimeS bound the non-deterministic tolerance band at
+	// this current.
+	MinTimeS, MaxTimeS float64
+}
+
+// NewTripCurve builds a curve from anchor points. Points must have
+// ascending currents > 1, decreasing times, and MinTimeS <= MaxTimeS.
+func NewTripCurve(points []CurvePoint) (*TripCurve, error) {
+	if len(points) < 2 {
+		return nil, errors.New("power: trip curve needs at least two points")
+	}
+	c := &TripCurve{}
+	prevI := 1.0
+	for i, p := range points {
+		if p.CurrentNorm <= prevI {
+			return nil, fmt.Errorf("power: anchor %d current %v not ascending above 1", i, p.CurrentNorm)
+		}
+		if p.MinTimeS <= 0 || p.MaxTimeS < p.MinTimeS {
+			return nil, fmt.Errorf("power: anchor %d has invalid band [%v, %v]", i, p.MinTimeS, p.MaxTimeS)
+		}
+		if i > 0 && (p.MinTimeS > points[i-1].MinTimeS || p.MaxTimeS > points[i-1].MaxTimeS) {
+			return nil, fmt.Errorf("power: anchor %d trip times not decreasing", i)
+		}
+		c.currents = append(c.currents, p.CurrentNorm)
+		c.minTimes = append(c.minTimes, p.MinTimeS)
+		c.maxTimes = append(c.maxTimes, p.MaxTimeS)
+		prevI = p.CurrentNorm
+	}
+	return c, nil
+}
+
+// UL489Curve returns a trip curve modeled after the Rockwell Bulletin 1489
+// UL489 breakers cited by the paper: they can be overloaded to 125-175 %
+// of rated current for a 150-second sprint. At 1.25x the breaker begins to
+// risk tripping at 150 s; at 1.75x it always trips by 150 s.
+func UL489Curve() *TripCurve {
+	c, err := NewTripCurve([]CurvePoint{
+		{CurrentNorm: 1.05, MinTimeS: 1800, MaxTimeS: 36000},
+		{CurrentNorm: 1.13, MinTimeS: 700, MaxTimeS: 3600},
+		{CurrentNorm: 1.25, MinTimeS: 150, MaxTimeS: 1200},
+		{CurrentNorm: 1.75, MinTimeS: 25, MaxTimeS: 150},
+		{CurrentNorm: 2.0, MinTimeS: 10, MaxTimeS: 80},
+		{CurrentNorm: 3.0, MinTimeS: 2, MaxTimeS: 20},
+		{CurrentNorm: 5.0, MinTimeS: 0.5, MaxTimeS: 4},
+		{CurrentNorm: 10.0, MinTimeS: 0.05, MaxTimeS: 0.4},
+		{CurrentNorm: 20.0, MinTimeS: 0.008, MaxTimeS: 0.05},
+	})
+	if err != nil {
+		panic(err) // static table; cannot fail
+	}
+	return c
+}
+
+// interp evaluates a log-log polyline at current i, clamping beyond the
+// anchor range.
+func interpLogLog(currents, times []float64, i float64) float64 {
+	if i <= currents[0] {
+		return times[0]
+	}
+	n := len(currents)
+	if i >= currents[n-1] {
+		return times[n-1]
+	}
+	k := sort.SearchFloat64s(currents, i)
+	// currents[k-1] < i <= currents[k]
+	x0, x1 := math.Log(currents[k-1]), math.Log(currents[k])
+	y0, y1 := math.Log(times[k-1]), math.Log(times[k])
+	t := (math.Log(i) - x0) / (x1 - x0)
+	return math.Exp(y0 + (y1-y0)*t)
+}
+
+// MinTripTimeS returns the lower envelope: the longest duration the given
+// normalized current is guaranteed to be tolerated. Currents at or below
+// rated never trip (+Inf).
+func (c *TripCurve) MinTripTimeS(currentNorm float64) float64 {
+	if currentNorm <= 1 {
+		return math.Inf(1)
+	}
+	return interpLogLog(c.currents, c.minTimes, currentNorm)
+}
+
+// MaxTripTimeS returns the upper envelope: the duration beyond which the
+// given normalized current certainly trips. Currents at or below rated
+// never trip (+Inf).
+func (c *TripCurve) MaxTripTimeS(currentNorm float64) float64 {
+	if currentNorm <= 1 {
+		return math.Inf(1)
+	}
+	return interpLogLog(c.currents, c.maxTimes, currentNorm)
+}
+
+// Region classifies holding currentNorm for durationS seconds.
+type Region int
+
+const (
+	// NotTripped: the breaker is guaranteed to hold.
+	NotTripped Region = iota
+	// NonDeterministic: inside the tolerance band; the breaker may trip.
+	NonDeterministic
+	// Tripped: the breaker is guaranteed to trip.
+	Tripped
+)
+
+// String returns the region name.
+func (r Region) String() string {
+	switch r {
+	case NotTripped:
+		return "not-tripped"
+	case NonDeterministic:
+		return "non-deterministic"
+	case Tripped:
+		return "tripped"
+	default:
+		return fmt.Sprintf("Region(%d)", int(r))
+	}
+}
+
+// Classify returns the trip region for a load held at currentNorm for
+// durationS.
+func (c *TripCurve) Classify(currentNorm, durationS float64) Region {
+	switch {
+	case durationS < c.MinTripTimeS(currentNorm):
+		return NotTripped
+	case durationS >= c.MaxTripTimeS(currentNorm):
+		return Tripped
+	default:
+		return NonDeterministic
+	}
+}
+
+// TripProbability returns the probability that holding currentNorm for
+// durationS trips the breaker, interpolating linearly across the
+// tolerance band (0 below the band, 1 above it).
+func (c *TripCurve) TripProbability(currentNorm, durationS float64) float64 {
+	lo := c.MinTripTimeS(currentNorm)
+	hi := c.MaxTripTimeS(currentNorm)
+	if math.IsInf(lo, 1) {
+		return 0
+	}
+	switch {
+	case durationS < lo:
+		return 0
+	case durationS >= hi:
+		return 1
+	default:
+		// Interpolate in log-time, matching the log-log plot.
+		return (math.Log(durationS) - math.Log(lo)) / (math.Log(hi) - math.Log(lo))
+	}
+}

@@ -1,0 +1,133 @@
+package power
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// UPS models the rack's uninterruptible power supply (§2.2). When the
+// breaker trips, the UPS carries sprints in progress to completion,
+// discharging its battery. The rack may not sprint again until the
+// battery has recharged; the expected recharge time determines the
+// paper's recovery persistence probability pr.
+type UPS struct {
+	// CapacityJ is the battery's usable energy.
+	CapacityJ float64
+	// MaxDischargeW is the maximum discharge power (must cover the rack's
+	// worst-case sprint overload).
+	MaxDischargeW float64
+	// RechargeW is the charging power while recovering.
+	RechargeW float64
+	// RechargeTarget is the state-of-charge fraction at which sprints are
+	// allowed again. Batteries recharge to ~85% quickly and then trickle,
+	// so recovery completes at 0.85 by default.
+	RechargeTarget float64
+
+	socJ float64 // current stored energy
+}
+
+// NewUPS returns a fully charged UPS.
+func NewUPS(capacityJ, maxDischargeW, rechargeW, rechargeTarget float64) (*UPS, error) {
+	u := &UPS{
+		CapacityJ:      capacityJ,
+		MaxDischargeW:  maxDischargeW,
+		RechargeW:      rechargeW,
+		RechargeTarget: rechargeTarget,
+		socJ:           capacityJ,
+	}
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// DefaultUPS sizes a lead-acid UPS for the default rack: it can carry one
+// full-rack sprint overload (1000 chips x 45 W above rated) for one
+// 150-second epoch, and recharges at a rate that restores that discharge
+// in about 8.3 epochs — giving the paper's pr = 0.88.
+func DefaultUPS() *UPS {
+	overloadW := 1000 * 45.0 // all-sprint surplus above rated
+	dischargeJ := overloadW * 150
+	u, err := NewUPS(
+		dischargeJ/0.85, // target SoC 85% of capacity equals one discharge
+		overloadW,
+		dischargeJ/(150/0.12), // recharge one discharge in 1/(1-pr) epochs
+		0.85,
+	)
+	if err != nil {
+		panic(err) // static sizing; cannot fail
+	}
+	return u
+}
+
+// Validate checks the UPS parameters.
+func (u *UPS) Validate() error {
+	if u.CapacityJ <= 0 {
+		return errors.New("power: UPS capacity must be positive")
+	}
+	if u.MaxDischargeW <= 0 || u.RechargeW <= 0 {
+		return errors.New("power: UPS power ratings must be positive")
+	}
+	if u.RechargeTarget <= 0 || u.RechargeTarget > 1 {
+		return fmt.Errorf("power: invalid recharge target %v", u.RechargeTarget)
+	}
+	return nil
+}
+
+// SoC returns the state of charge in [0, 1].
+func (u *UPS) SoC() float64 { return u.socJ / u.CapacityJ }
+
+// Ready reports whether the battery has recharged past the recovery
+// target, permitting sprints again.
+func (u *UPS) Ready() bool { return u.SoC() >= u.RechargeTarget }
+
+// Discharge draws powerW for durationS from the battery and returns the
+// energy actually supplied; it is capped by the discharge rating and the
+// remaining charge.
+func (u *UPS) Discharge(powerW, durationS float64) (suppliedJ float64, err error) {
+	if powerW < 0 || durationS < 0 {
+		return 0, errors.New("power: negative discharge request")
+	}
+	if powerW > u.MaxDischargeW {
+		return 0, fmt.Errorf("power: discharge %v W exceeds rating %v W", powerW, u.MaxDischargeW)
+	}
+	want := powerW * durationS
+	if want > u.socJ {
+		want = u.socJ
+	}
+	u.socJ -= want
+	return want, nil
+}
+
+// Recharge charges the battery for durationS seconds.
+func (u *UPS) Recharge(durationS float64) {
+	if durationS <= 0 {
+		return
+	}
+	u.socJ = math.Min(u.CapacityJ, u.socJ+u.RechargeW*durationS)
+}
+
+// RecoveryEpochs returns the expected number of epochs of the given
+// duration needed to recharge from empty to the recovery target.
+func (u *UPS) RecoveryEpochs(epochS float64) float64 {
+	if epochS <= 0 {
+		return math.Inf(1)
+	}
+	need := u.RechargeTarget * u.CapacityJ
+	return need / (u.RechargeW * epochS)
+}
+
+// RecoveryStayProbability converts the recharge time into the paper's
+// per-epoch recovery persistence probability pr, defined so that
+// 1/(1-pr) equals the expected recovery duration in epochs.
+func (u *UPS) RecoveryStayProbability(epochS float64) float64 {
+	e := u.RecoveryEpochs(epochS)
+	if e <= 1 {
+		return 0
+	}
+	if math.IsInf(e, 1) {
+		return 1
+	}
+	return 1 - 1/e
+}

@@ -1,0 +1,152 @@
+package rackphys
+
+import (
+	"errors"
+	"fmt"
+
+	"sprintgame/internal/stats"
+	"sprintgame/internal/workload"
+)
+
+// Driver runs sprinting policies directly on the continuous-time physical
+// rack, closing the loop between the game's epoch abstraction and the
+// thermal/electrical substrate: sprints end when the PCM is exhausted
+// (not when an epoch says so), emergencies follow the breaker's real
+// time-current characteristic, and recovery lasts until the battery
+// genuinely recharges.
+type Driver struct {
+	rack   *Rack
+	epochS float64
+	traces []*workload.TraceGenerator
+	// utility of the epoch in which each chip's current sprint started.
+	sprintUtility []float64
+}
+
+// DriverResult aggregates a physical-policy run.
+type DriverResult struct {
+	// Epochs is the number of decision epochs simulated.
+	Epochs int
+	// TaskRate is task units per chip-epoch, normalized like the
+	// epoch simulator: 1 for a normal epoch, the utility for a sprinting
+	// epoch, 0 while the rack recovers.
+	TaskRate float64
+	// Trips counts breaker trips.
+	Trips int
+	// SprintShare is the fraction of chip-epochs spent sprinting.
+	SprintShare float64
+	// RecoveryShare is the fraction of chip-epochs in rack recovery.
+	RecoveryShare float64
+}
+
+// NewDriver builds a physical-rack driver for a benchmark: one trace
+// stream per chip, decisions every epochS seconds.
+func NewDriver(cfg Config, b *workload.Benchmark, epochS float64, seed uint64) (*Driver, error) {
+	if epochS <= 0 {
+		return nil, errors.New("rackphys: epoch must be positive")
+	}
+	r, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	master := stats.NewRNG(seed)
+	traces := make([]*workload.TraceGenerator, cfg.Chips)
+	for i := range traces {
+		traces[i], err = workload.NewTraceGenerator(b, master.Uint64())
+		if err != nil {
+			return nil, fmt.Errorf("rackphys: trace %d: %w", i, err)
+		}
+	}
+	return &Driver{
+		rack:          r,
+		epochS:        epochS,
+		traces:        traces,
+		sprintUtility: make([]float64, cfg.Chips),
+	}, nil
+}
+
+// decide is a per-chip sprint decision given the epoch's utility.
+type decide func(chip int, utility float64) bool
+
+// run advances the physical rack for the given number of epochs. Each
+// epoch boundary first ends the previous epoch's sprints (the epoch is
+// "the duration of a safe sprint", §3.1 — the PCM budget of ~164 s
+// slightly exceeds the 150 s epoch, so epoch-bounded sprints never
+// overheat), then makes new decisions, then integrates the physics.
+func (d *Driver) run(epochs int, dec decide) (*DriverResult, error) {
+	if epochs <= 0 {
+		return nil, errors.New("rackphys: need at least one epoch")
+	}
+	res := &DriverResult{Epochs: epochs}
+	stepsPerEpoch := int(d.epochS / d.rack.cfg.DtS)
+	if stepsPerEpoch < 1 {
+		stepsPerEpoch = 1
+	}
+	totalUnits := 0.0
+	sprintEpochs := 0.0
+	recoverEpochs := 0.0
+	started := make([]bool, len(d.traces))
+	for e := 0; e < epochs; e++ {
+		// End sprints from the previous epoch before new ones begin, so
+		// sprint loads never overlap across epoch boundaries, and let the
+		// breaker's thermal element reset during the all-normal gap (see
+		// ResetBreakerAccumulator for why the epoch model needs this).
+		for i := range d.traces {
+			if d.rack.Chip(i).Sprinting {
+				d.rack.StopSprint(i)
+			}
+		}
+		d.rack.ResetBreakerAccumulator()
+		// Decisions.
+		for i := range d.traces {
+			u := d.traces[i].Next()
+			started[i] = false
+			if d.rack.CanSprint(i) && dec(i, u) {
+				if err := d.rack.StartSprint(i); err == nil {
+					d.sprintUtility[i] = u
+					started[i] = true
+				}
+			}
+		}
+		// Integrate the epoch.
+		recoverSteps := 0
+		for s := 0; s < stepsPerEpoch; s++ {
+			rep := d.rack.Step()
+			if rep.Tripped {
+				res.Trips++
+			}
+			if rep.Recovering {
+				recoverSteps++
+			}
+		}
+		recovering := float64(recoverSteps)/float64(stepsPerEpoch) > 0.5
+		// Task accounting per chip for this epoch. A sprint interrupted
+		// by an emergency still completes on the UPS (§2.2), so a started
+		// sprint earns its utility.
+		for i := range d.traces {
+			switch {
+			case started[i]:
+				totalUnits += d.sprintUtility[i]
+				sprintEpochs++
+			case recovering:
+				recoverEpochs++
+			default:
+				totalUnits++
+			}
+		}
+	}
+	n := float64(len(d.traces)) * float64(epochs)
+	res.TaskRate = totalUnits / n
+	res.SprintShare = sprintEpochs / n
+	res.RecoveryShare = recoverEpochs / n
+	return res, nil
+}
+
+// RunThreshold runs a per-chip threshold policy on the physical rack.
+func (d *Driver) RunThreshold(epochs int, threshold float64) (*DriverResult, error) {
+	return d.run(epochs, func(_ int, u float64) bool { return u > threshold })
+}
+
+// RunGreedy sprints whenever the chip and rack allow it.
+func (d *Driver) RunGreedy(epochs int) (*DriverResult, error) {
+	return d.run(epochs, func(int, float64) bool { return true })
+}

@@ -1,0 +1,354 @@
+package rackphys
+
+import (
+	"math"
+	"testing"
+
+	"sprintgame/internal/thermal"
+	"sprintgame/internal/workload"
+)
+
+func workloadBench(name string) (*workload.Benchmark, error) {
+	return workload.ByName(name)
+}
+
+func TestDefaultConfigValidates(t *testing.T) {
+	if err := DefaultConfig(100).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.Chips = 0 },
+		func(c *Config) { c.NormalW = 0 },
+		func(c *Config) { c.SprintW = c.NormalW },
+		func(c *Config) { c.RatedW = 1 },
+		func(c *Config) { c.Curve = nil },
+		func(c *Config) { c.UPS = nil },
+		func(c *Config) { c.DtS = 0 },
+		func(c *Config) { c.Package = thermal.Package{} },
+	}
+	for i, mutate := range cases {
+		cfg := DefaultConfig(50)
+		mutate(&cfg)
+		if cfg.Validate() == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestNewStartsAtNormalSteadyState(t *testing.T) {
+	cfg := DefaultConfig(10)
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.Package.SteadyStateC(cfg.NormalW)
+	for i := 0; i < cfg.Chips; i++ {
+		c := r.Chip(i)
+		if math.Abs(c.TempC-want) > 1e-9 || c.MeltFrac != 0 || c.Sprinting {
+			t.Fatalf("chip %d initial state wrong: %+v", i, c)
+		}
+		if !r.CanSprint(i) {
+			t.Fatalf("chip %d should be sprint-ready", i)
+		}
+	}
+}
+
+func TestSingleSprintLifecycle(t *testing.T) {
+	cfg := DefaultConfig(10)
+	r, _ := New(cfg)
+	if err := r.StartSprint(0); err != nil {
+		t.Fatal(err)
+	}
+	// Double-start rejected.
+	if err := r.StartSprint(0); err == nil {
+		t.Fatal("double sprint start should error")
+	}
+	// Run until the PCM forces the sprint to end.
+	forced := false
+	for i := 0; i < 1_000_000 && !forced; i++ {
+		rep := r.Step()
+		for _, id := range rep.ForcedStops {
+			if id == 0 {
+				forced = true
+			}
+		}
+	}
+	if !forced {
+		t.Fatal("sprint never exhausted the PCM")
+	}
+	// Duration near the analytic budget (~164 s for default parameters).
+	budget := cfg.Package.SprintBudgetS(cfg.NormalW, cfg.SprintW)
+	if math.Abs(r.TimeS()-budget) > 5 {
+		t.Errorf("sprint lasted %.1fs, analytic budget %.1fs", r.TimeS(), budget)
+	}
+	// One chip sprinting on a 10-chip rack: breaker untouched.
+	if r.Trips() != 0 {
+		t.Error("single sprint tripped the breaker")
+	}
+	// The chip cannot sprint again until the PCM refreezes.
+	if r.CanSprint(0) {
+		t.Error("chip should be thermally blocked right after a sprint")
+	}
+	start := r.TimeS()
+	for !r.CanSprint(0) {
+		r.Step()
+		if r.TimeS()-start > 1e4 {
+			t.Fatal("PCM never refroze")
+		}
+	}
+	cool := r.TimeS() - start
+	analytic := cfg.Package.CoolTimeS(cfg.NormalW)
+	if math.Abs(cool-analytic) > 10 {
+		t.Errorf("cooling took %.1fs, analytic %.1fs", cool, analytic)
+	}
+}
+
+func TestStopSprint(t *testing.T) {
+	r, _ := New(DefaultConfig(10))
+	if r.StopSprint(3) != 0 {
+		t.Error("stopping a non-sprinting chip should return 0")
+	}
+	_ = r.StartSprint(3)
+	for i := 0; i < 20; i++ {
+		r.Step()
+	}
+	d := r.StopSprint(3)
+	if d <= 0 {
+		t.Errorf("sprint duration = %v", d)
+	}
+}
+
+func TestLoadAccounting(t *testing.T) {
+	cfg := DefaultConfig(10)
+	r, _ := New(cfg)
+	if got := r.LoadW(); got != 450 {
+		t.Errorf("idle load = %v", got)
+	}
+	_ = r.StartSprint(0)
+	_ = r.StartSprint(1)
+	if got := r.LoadW(); got != 8*45+2*81 {
+		t.Errorf("load with 2 sprinters = %v", got)
+	}
+}
+
+func TestMassSprintTripsBreakerAndRecovers(t *testing.T) {
+	cfg := DefaultConfig(40)
+	r, _ := New(cfg)
+	for i := 0; i < cfg.Chips; i++ {
+		if err := r.StartSprint(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Full-rack sprint: 1.8x rated, must trip within the tolerance band
+	// (minutes), far before the sprint budget expires.
+	tripAt := -1.0
+	for i := 0; i < 2_000_000; i++ {
+		rep := r.Step()
+		if rep.Tripped {
+			tripAt = rep.TimeS
+			break
+		}
+	}
+	if tripAt < 0 {
+		t.Fatal("mass sprint never tripped the breaker")
+	}
+	if tripAt > 150 {
+		t.Errorf("trip took %.1fs, expected within the 150s sprint", tripAt)
+	}
+	// During the emergency no chip may start a sprint.
+	if r.CanSprint(0) {
+		t.Error("sprinting must be forbidden during an emergency")
+	}
+	// Eventually the rack recovers and sprinting is permitted again
+	// (after PCM refreeze).
+	for i := 0; i < 20_000_000 && r.Recovering(); i++ {
+		r.Step()
+	}
+	if r.Recovering() {
+		t.Fatal("recovery never completed")
+	}
+	for i := 0; i < 4_000_000; i++ {
+		if r.CanSprint(0) {
+			return
+		}
+		r.Step()
+	}
+	t.Fatal("chip never became sprint-ready after recovery")
+}
+
+func TestDeriveEpochModelMatchesTable2(t *testing.T) {
+	d, err := DeriveEpochModel(DefaultConfig(100), 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sprint duration ~150s (the paper's estimate; our package gives 164).
+	if d.SprintDurationS < 130 || d.SprintDurationS > 190 {
+		t.Errorf("sprint duration %.1fs, want ~150s", d.SprintDurationS)
+	}
+	// Cooling ~300s => pc ~0.5.
+	if d.CoolDurationS < 270 || d.CoolDurationS > 330 {
+		t.Errorf("cooling %.1fs, want ~300s", d.CoolDurationS)
+	}
+	if d.Pc < 0.45 || d.Pc > 0.55 {
+		t.Errorf("pc = %v, want ~0.5", d.Pc)
+	}
+	// Nmin ~25% of the rack.
+	if d.NMin < 23 || d.NMin > 28 {
+		t.Errorf("Nmin = %d for 100 chips, want ~25", d.NMin)
+	}
+	// Recovery: several epochs; pr below but within reach of the 0.88
+	// design bound (the breaker's tolerance time shortens the battery
+	// discharge relative to the design point).
+	if d.RecoveryDurationS < 300 || d.RecoveryDurationS > 1300 {
+		t.Errorf("recovery %.1fs", d.RecoveryDurationS)
+	}
+	if d.Pr < 0.6 || d.Pr > 0.93 {
+		t.Errorf("pr = %v, want in [0.6, 0.93]", d.Pr)
+	}
+}
+
+func TestDeriveEpochModelValidation(t *testing.T) {
+	if _, err := DeriveEpochModel(DefaultConfig(10), 0); err == nil {
+		t.Error("zero epoch should error")
+	}
+	bad := DefaultConfig(10)
+	bad.Chips = 0
+	if _, err := DeriveEpochModel(bad, 150); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+func TestBreakerExposureDecays(t *testing.T) {
+	// A brief overload followed by idle time should not trip later: the
+	// exposure accumulator must decay.
+	cfg := DefaultConfig(20)
+	r, _ := New(cfg)
+	for i := 0; i < cfg.Chips; i++ {
+		_ = r.StartSprint(i)
+	}
+	// Overload for a short time, then stop all sprints.
+	for i := 0; i < 20; i++ {
+		r.Step()
+	}
+	for i := 0; i < cfg.Chips; i++ {
+		r.StopSprint(i)
+	}
+	for i := 0; i < 10000; i++ {
+		if rep := r.Step(); rep.Tripped {
+			t.Fatal("breaker tripped after the overload cleared")
+		}
+	}
+}
+
+func TestTemperatureNeverExceedsJunctionLimit(t *testing.T) {
+	cfg := DefaultConfig(10)
+	r, _ := New(cfg)
+	_ = r.StartSprint(0)
+	for i := 0; i < 4000; i++ {
+		r.Step()
+		if c := r.Chip(0); c.TempC > cfg.Package.MaxC {
+			t.Fatalf("junction limit exceeded: %.1fC at t=%.1fs", c.TempC, r.TimeS())
+		}
+	}
+}
+
+func TestDriverValidation(t *testing.T) {
+	cfg := DefaultConfig(10)
+	b, err := workloadBench("decision")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDriver(cfg, b, 0, 1); err == nil {
+		t.Error("zero epoch should error")
+	}
+	bad := cfg
+	bad.Chips = 0
+	if _, err := NewDriver(bad, b, 150, 1); err == nil {
+		t.Error("bad config should error")
+	}
+	d, err := NewDriver(cfg, b, 150, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.RunGreedy(0); err == nil {
+		t.Error("zero epochs should error")
+	}
+}
+
+func TestDriverNeverSprintBaseline(t *testing.T) {
+	cfg := DefaultConfig(10)
+	b, err := workloadBench("decision")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDriver(cfg, b, 150, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An impossible threshold: never sprint, never trip, rate exactly 1.
+	res, err := d.RunThreshold(50, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TaskRate != 1 || res.Trips != 0 || res.SprintShare != 0 {
+		t.Errorf("baseline result wrong: %+v", res)
+	}
+}
+
+func TestDriverEquilibriumBeatsGreedyOnPhysics(t *testing.T) {
+	b, err := workloadBench("decision")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(60)
+	dET, err := NewDriver(cfg, b, 150, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Threshold near the epoch-model equilibrium for decision tree.
+	et, err := dET.RunThreshold(150, 3.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dG, err := NewDriver(cfg, b, 150, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := dG.RunGreedy(150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if et.TaskRate < 1.5*g.TaskRate {
+		t.Errorf("physical E-T rate %v not well above greedy %v", et.TaskRate, g.TaskRate)
+	}
+	if g.RecoveryShare < et.RecoveryShare {
+		t.Errorf("greedy recovery %v should exceed E-T's %v", g.RecoveryShare, et.RecoveryShare)
+	}
+	// Sprints stop at epoch boundaries: no chip overheats.
+	for i := 0; i < cfg.Chips; i++ {
+		if c := dET.rack.Chip(i); c.TempC > cfg.Package.MaxC {
+			t.Fatalf("chip %d exceeded junction limit", i)
+		}
+	}
+}
+
+func TestResetBreakerAccumulator(t *testing.T) {
+	cfg := DefaultConfig(20)
+	r, _ := New(cfg)
+	for i := 0; i < cfg.Chips; i++ {
+		_ = r.StartSprint(i)
+	}
+	for i := 0; i < 30; i++ {
+		r.Step()
+	}
+	if r.tripFraction <= 0 {
+		t.Fatal("overload should have accumulated exposure")
+	}
+	r.ResetBreakerAccumulator()
+	if r.tripFraction != 0 {
+		t.Error("accumulator not reset")
+	}
+}

@@ -1,0 +1,64 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"sprintgame/internal/core"
+	"sprintgame/internal/policy"
+	"sprintgame/internal/sim"
+	"sprintgame/internal/workload"
+)
+
+// ExampleRun simulates a full rack of Decision Tree agents playing the
+// equilibrium-threshold policy and reports the outcome.
+func ExampleRun() {
+	bench, _ := workload.ByName("decision")
+	game := core.DefaultConfig()
+	cfg := sim.Config{
+		Epochs: 500,
+		Seed:   42,
+		Game:   game,
+		Groups: []sim.Group{{Class: "decision", Count: game.N, Bench: bench}},
+	}
+	pol, eq, _ := sim.BuildEquilibriumPolicy(cfg)
+	res, _ := sim.Run(cfg, pol)
+	fmt.Printf("threshold %.2f, simulated rate %.1f, emergencies %d\n",
+		eq.Classes[0].Threshold, res.TaskRate, res.Trips)
+	// Output:
+	// threshold 3.26, simulated rate 2.0, emergencies 1
+}
+
+// ExampleComparePolicies runs the paper's four policies on one workload.
+func ExampleComparePolicies() {
+	bench, _ := workload.ByName("pagerank")
+	game := core.DefaultConfig()
+	cfg := sim.Config{
+		Epochs: 500,
+		Seed:   7,
+		Game:   game,
+		Groups: []sim.Group{{Class: "pagerank", Count: game.N, Bench: bench}},
+	}
+	cmp, _ := sim.ComparePolicies(cfg)
+	_, et, _ := cmp.Normalized()
+	fmt.Printf("equilibrium-threshold beats greedy: %v\n", et > 3)
+	// Output:
+	// equilibrium-threshold beats greedy: true
+}
+
+// ExampleRun_traceDriven drives the simulator from recorded traces, the
+// paper's trace-driven methodology.
+func ExampleRun_traceDriven() {
+	bench, _ := workload.ByName("svm")
+	traces, _ := workload.GenerateTraceSet(bench, 3, 50, 600)
+	game := core.DefaultConfig()
+	cfg := sim.Config{
+		Epochs: 500,
+		Seed:   9,
+		Game:   game,
+		Groups: []sim.Group{{Class: "svm", Count: game.N, TraceSet: traces}},
+	}
+	res, _ := sim.Run(cfg, policy.Never{})
+	fmt.Printf("baseline rate %.0f with %d emergencies\n", res.TaskRate, res.Trips)
+	// Output:
+	// baseline rate 1 with 0 emergencies
+}

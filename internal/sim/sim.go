@@ -1,0 +1,406 @@
+// Package sim is the epoch-driven rack simulator used for the paper's
+// evaluation (§5-§6): N agents run application traces, decide sprints
+// under a policy, and experience cooling, breaker trips, and rack
+// recovery.
+//
+// Task accounting per agent-epoch, normalized to normal mode = 1:
+//
+//   - sprint epoch: u task units (the UPS carries in-progress sprints
+//     through a trip, §2.2, so a tripped sprint still completes);
+//   - active epoch without sprint, and cooling epoch: 1 unit;
+//   - recovery epoch: 0 units — the rack sheds load while its batteries
+//     recharge ("idle recovery", §6.1).
+//
+// The accounting matches core.EvaluateThreshold so simulated and analytic
+// throughput are directly comparable.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"sprintgame/internal/core"
+	"sprintgame/internal/policy"
+	"sprintgame/internal/stats"
+	"sprintgame/internal/workload"
+)
+
+// AgentState is an agent's condition at the start of an epoch (§3.2).
+type AgentState int
+
+const (
+	// Active: the agent can sprint.
+	Active AgentState = iota
+	// Cooling: the chip must dissipate sprint heat; no sprinting.
+	Cooling
+	// Recovery: the rack's batteries are recharging; no sprinting.
+	Recovery
+)
+
+// String names the state.
+func (s AgentState) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Cooling:
+		return "cooling"
+	case Recovery:
+		return "recovery"
+	default:
+		return fmt.Sprintf("AgentState(%d)", int(s))
+	}
+}
+
+// Group is a set of agents running the same benchmark.
+type Group struct {
+	// Class labels the group; policies use it to look up strategies.
+	Class string
+	// Count is the number of agents.
+	Count int
+	// Bench generates the group's utility traces on the fly. Exactly one
+	// of Bench and TraceSet must be set.
+	Bench *workload.Benchmark
+	// TraceSet replays recorded traces instead (the paper's trace-driven
+	// methodology): agent i replays trace i mod len(Traces) from a
+	// deterministic offset.
+	TraceSet *workload.TraceSet
+}
+
+// Config configures a simulation run.
+type Config struct {
+	// Epochs is the number of epochs to simulate.
+	Epochs int
+	// Seed makes the run reproducible.
+	Seed uint64
+	// Game supplies N, pc, pr, and the trip model (Table 2).
+	Game core.Config
+	// Groups partitions the rack's agents; counts must sum to Game.N.
+	Groups []Group
+	// RecordSeries enables per-epoch series (sprinter counts, state
+	// counts) in the result; disable for long benchmark runs.
+	RecordSeries bool
+	// TrackAgents lists agent ids whose individual task rates should be
+	// reported (used by the deviation experiments of §6.4).
+	TrackAgents []int
+}
+
+// Validate checks the simulation configuration.
+func (c Config) Validate() error {
+	if c.Epochs <= 0 {
+		return errors.New("sim: need at least one epoch")
+	}
+	if err := c.Game.Validate(); err != nil {
+		return err
+	}
+	if len(c.Groups) == 0 {
+		return errors.New("sim: need at least one agent group")
+	}
+	total := 0
+	for _, g := range c.Groups {
+		if g.Count <= 0 {
+			return fmt.Errorf("sim: group %q needs agents", g.Class)
+		}
+		if (g.Bench == nil) == (g.TraceSet == nil) {
+			return fmt.Errorf("sim: group %q needs exactly one of a benchmark or a trace set", g.Class)
+		}
+		if g.TraceSet != nil {
+			if err := g.TraceSet.Validate(); err != nil {
+				return fmt.Errorf("sim: group %q: %w", g.Class, err)
+			}
+		}
+		total += g.Count
+	}
+	if total != c.Game.N {
+		return fmt.Errorf("sim: group counts sum to %d, config N = %d", total, c.Game.N)
+	}
+	return nil
+}
+
+// utilitySource is an epoch utility stream; satisfied by both
+// workload.TraceGenerator (synthesis) and workload.Replayer (recorded
+// traces).
+type utilitySource interface {
+	Next() float64
+}
+
+// agent is the per-agent simulation state.
+type agent struct {
+	class string
+	state AgentState
+	trace utilitySource
+}
+
+// StateShares is the fraction of agent-epochs spent sprinting, active
+// without sprinting, cooling, and recovering (Figure 7's four bars).
+type StateShares struct {
+	Sprinting, ActiveIdle, Cooling, Recovery float64
+}
+
+// Sum returns the total (should be 1).
+func (s StateShares) Sum() float64 {
+	return s.Sprinting + s.ActiveIdle + s.Cooling + s.Recovery
+}
+
+// GroupResult aggregates per-class outcomes.
+type GroupResult struct {
+	Class string
+	Count int
+	// TaskRate is task units per agent-epoch (normal mode == 1).
+	TaskRate float64
+	// Shares is the class's time-in-state breakdown.
+	Shares StateShares
+	// MeanSprintUtility is the mean utility of epochs the class's agents
+	// actually sprinted in (0 if they never sprinted).
+	MeanSprintUtility float64
+}
+
+// Result is a completed simulation.
+type Result struct {
+	Policy string
+	Epochs int
+	// TaskRate is rack-wide task units per agent-epoch.
+	TaskRate float64
+	// Trips is the number of power emergencies.
+	Trips int
+	// Shares is the rack-wide time-in-state breakdown.
+	Shares StateShares
+	// Groups holds per-class results in input order.
+	Groups []GroupResult
+	// SprintersPerEpoch is the Figure 6 series (nil unless RecordSeries).
+	SprintersPerEpoch []int
+	// RecoveringPerEpoch counts agents in recovery per epoch (nil unless
+	// RecordSeries).
+	RecoveringPerEpoch []int
+	// AgentRates maps each tracked agent id (Config.TrackAgents) to its
+	// individual task units per epoch.
+	AgentRates map[int]float64
+	// AgentSprints maps each tracked agent id to the number of epochs it
+	// sprinted.
+	AgentSprints map[int]int
+}
+
+// Run simulates the rack under the given policy.
+func Run(cfg Config, pol policy.Policy) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if pol == nil {
+		return nil, errors.New("sim: nil policy")
+	}
+	master := stats.NewRNG(cfg.Seed)
+	agents := make([]agent, 0, cfg.Game.N)
+	groupIdx := make(map[string]int, len(cfg.Groups))
+	for gi, g := range cfg.Groups {
+		groupIdx[g.Class] = gi
+		for i := 0; i < g.Count; i++ {
+			var src utilitySource
+			if g.TraceSet != nil {
+				tr := g.TraceSet.Traces[i%len(g.TraceSet.Traces)]
+				rep, err := workload.NewReplayer(tr, master.Intn(tr.Len()))
+				if err != nil {
+					return nil, fmt.Errorf("sim: group %q: %w", g.Class, err)
+				}
+				src = rep
+			} else {
+				gen, err := workload.NewTraceGenerator(g.Bench, master.Uint64())
+				if err != nil {
+					return nil, fmt.Errorf("sim: group %q: %w", g.Class, err)
+				}
+				src = gen
+			}
+			agents = append(agents, agent{class: g.Class, state: Active, trace: src})
+		}
+	}
+	rackRNG := master.Split()
+
+	res := &Result{Policy: pol.Name(), Epochs: cfg.Epochs}
+	res.Groups = make([]GroupResult, len(cfg.Groups))
+	for gi, g := range cfg.Groups {
+		res.Groups[gi] = GroupResult{Class: g.Class, Count: g.Count}
+	}
+	if cfg.RecordSeries {
+		res.SprintersPerEpoch = make([]int, cfg.Epochs)
+		res.RecoveringPerEpoch = make([]int, cfg.Epochs)
+	}
+
+	type tally struct {
+		units                             float64
+		sprint, activeIdle, cool, recover float64
+		sprintUtil                        float64
+		sprintCount                       float64
+	}
+	tallies := make([]tally, len(cfg.Groups))
+	var agentUnits map[int]float64
+	var agentSprints map[int]int
+	if len(cfg.TrackAgents) > 0 {
+		agentUnits = make(map[int]float64, len(cfg.TrackAgents))
+		agentSprints = make(map[int]int, len(cfg.TrackAgents))
+		for _, id := range cfg.TrackAgents {
+			if id < 0 || id >= len(agents) {
+				return nil, fmt.Errorf("sim: tracked agent %d out of range", id)
+			}
+			agentUnits[id] = 0
+			agentSprints[id] = 0
+		}
+	}
+
+	sprinting := make([]bool, len(agents))
+	utilities := make([]float64, len(agents))
+	// holdUntil enforces the rack's dI/dt stagger: after recovery ends,
+	// each agent's sprint permission is delayed by 0 or 1 epochs (§2.2:
+	// "The rack must stagger the distribution of sprinting permissions").
+	holdUntil := make([]int, len(agents))
+	// rackRecovering tracks the shared battery recharge: a power
+	// emergency puts the whole rack into recovery, and all agents return
+	// together once the batteries have recharged (shared UPS, §2.2). The
+	// per-epoch exit probability 1-pr makes the expected recovery last
+	// 1/(1-pr) epochs, as in the paper's agent-state model.
+	rackRecovering := false
+	// recoveryExit is the per-epoch probability that the current
+	// recovery ends. The UPS discharges in proportion to the number of
+	// sprinters it carried through the trip, and recharge time scales
+	// with discharge depth (§2.2's 8-10x recharge window is calibrated at
+	// the Nmin overload), so deeper emergencies recover more slowly.
+	recoveryExit := 1 - cfg.Game.Pr
+	nMin, _ := cfg.Game.Trip.Bounds()
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		// Phase 1: utilities and sprint decisions.
+		nS := 0
+		nRecover := 0
+		for i := range agents {
+			a := &agents[i]
+			utilities[i] = a.trace.Next()
+			sprinting[i] = false
+			switch a.state {
+			case Active:
+				if epoch >= holdUntil[i] && pol.Decide(policy.Context{
+					AgentID: i, Class: a.class, Epoch: epoch, Utility: utilities[i],
+				}) {
+					sprinting[i] = true
+					nS++
+				}
+			case Recovery:
+				nRecover++
+			}
+		}
+
+		// Phase 2: breaker.
+		ptrip := cfg.Game.Trip.Ptrip(float64(nS))
+		tripped := rackRNG.Bool(ptrip)
+		if tripped {
+			res.Trips++
+		}
+		if cfg.RecordSeries {
+			res.SprintersPerEpoch[epoch] = nS
+			res.RecoveringPerEpoch[epoch] = nRecover
+		}
+		// Does the rack-wide recovery end after this epoch?
+		recoveryEnds := rackRecovering && rackRNG.Bool(recoveryExit)
+		if tripped {
+			depth := 1.0
+			if nMin > 0 && float64(nS) > nMin {
+				depth = float64(nS) / nMin
+			}
+			recoveryExit = (1 - cfg.Game.Pr) / depth
+		}
+
+		// Phase 3: task accounting and state transitions.
+		for i := range agents {
+			a := &agents[i]
+			gi := groupIdx[a.class]
+			ta := &tallies[gi]
+			units := 0.0
+			switch {
+			case sprinting[i]:
+				// The UPS completes sprints in progress even on a trip.
+				units = utilities[i]
+				ta.sprint++
+				ta.sprintUtil += utilities[i]
+				ta.sprintCount++
+			case a.state == Active:
+				units = 1
+				ta.activeIdle++
+			case a.state == Cooling:
+				units = 1
+				ta.cool++
+			default: // Recovery: rack sheds load while recharging.
+				ta.recover++
+			}
+			ta.units += units
+			if agentUnits != nil {
+				if _, ok := agentUnits[i]; ok {
+					agentUnits[i] += units
+					if sprinting[i] {
+						agentSprints[i]++
+					}
+				}
+			}
+
+			// Transitions.
+			if tripped {
+				a.state = Recovery
+				continue
+			}
+			switch {
+			case sprinting[i]:
+				a.state = Cooling
+			case a.state == Cooling:
+				if !rackRNG.Bool(cfg.Game.Pc) {
+					a.state = Active
+				}
+			case a.state == Recovery:
+				if recoveryEnds {
+					a.state = Active
+					holdUntil[i] = epoch + 1 + rackRNG.Intn(2)
+					pol.WakeUp(i, epoch)
+				}
+			}
+		}
+		if tripped {
+			rackRecovering = true
+		} else if recoveryEnds {
+			rackRecovering = false
+		}
+		pol.EpochEnd(epoch, nS, tripped)
+	}
+
+	// Aggregate.
+	var totUnits, totSprint, totIdle, totCool, totRecover float64
+	for gi := range cfg.Groups {
+		ta := tallies[gi]
+		gEpochs := float64(cfg.Groups[gi].Count) * float64(cfg.Epochs)
+		gr := &res.Groups[gi]
+		gr.TaskRate = ta.units / gEpochs
+		gr.Shares = StateShares{
+			Sprinting:  ta.sprint / gEpochs,
+			ActiveIdle: ta.activeIdle / gEpochs,
+			Cooling:    ta.cool / gEpochs,
+			Recovery:   ta.recover / gEpochs,
+		}
+		if ta.sprintCount > 0 {
+			gr.MeanSprintUtility = ta.sprintUtil / ta.sprintCount
+		}
+		totUnits += ta.units
+		totSprint += ta.sprint
+		totIdle += ta.activeIdle
+		totCool += ta.cool
+		totRecover += ta.recover
+	}
+	all := float64(cfg.Game.N) * float64(cfg.Epochs)
+	res.TaskRate = totUnits / all
+	res.Shares = StateShares{
+		Sprinting:  totSprint / all,
+		ActiveIdle: totIdle / all,
+		Cooling:    totCool / all,
+		Recovery:   totRecover / all,
+	}
+	if agentUnits != nil {
+		res.AgentRates = make(map[int]float64, len(agentUnits))
+		for id, u := range agentUnits {
+			res.AgentRates[id] = u / float64(cfg.Epochs)
+		}
+		res.AgentSprints = agentSprints
+	}
+	return res, nil
+}

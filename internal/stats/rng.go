@@ -1,0 +1,188 @@
+// Package stats provides deterministic random number generation and
+// descriptive statistics used throughout the sprinting-game simulator.
+//
+// All stochastic components in this repository draw from stats.RNG rather
+// than math/rand so that every experiment is reproducible from a seed and
+// so that independent simulation streams can be split without correlation.
+package stats
+
+import "math"
+
+// RNG is a deterministic pseudo-random number generator based on
+// SplitMix64 seeding and the xoshiro256** algorithm. The zero value is not
+// valid; use NewRNG.
+type RNG struct {
+	s [4]uint64
+	// cached second normal variate for the Box-Muller transform
+	hasGauss bool
+	gauss    float64
+}
+
+// splitmix64 advances the given state and returns the next value. It is
+// used to seed the main generator from a single 64-bit seed.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewRNG returns a generator deterministically seeded from seed.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	// Avoid the pathological all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Split returns a new generator whose stream is independent of r's
+// continued use. It is used to give each simulated agent its own stream.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() ^ 0xd1b54a32d192ed03)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Range returns a uniform float64 in [lo, hi).
+func (r *RNG) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Norm returns a standard normal variate using the Box-Muller transform.
+func (r *RNG) Norm() float64 {
+	if r.hasGauss {
+		r.hasGauss = false
+		return r.gauss
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(s) / s)
+	r.gauss = v * f
+	r.hasGauss = true
+	return u * f
+}
+
+// NormAt returns a normal variate with the given mean and standard
+// deviation.
+func (r *RNG) NormAt(mean, stddev float64) float64 {
+	return mean + stddev*r.Norm()
+}
+
+// LogNormal returns a log-normal variate where the underlying normal has
+// the given mu and sigma.
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.Norm())
+}
+
+// Exp returns an exponential variate with the given rate (lambda > 0).
+func (r *RNG) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("stats: Exp with non-positive rate")
+	}
+	// 1 - Float64() is in (0, 1], so Log never sees zero.
+	return -math.Log(1-r.Float64()) / rate
+}
+
+// Geometric returns the number of epochs an agent stays in a state it
+// leaves with probability 1-p each epoch; i.e. a geometric variate with
+// success probability 1-p, support {1, 2, ...}. Geometric(0) == 1.
+func (r *RNG) Geometric(p float64) int {
+	if p <= 0 {
+		return 1
+	}
+	if p >= 1 {
+		return math.MaxInt32
+	}
+	n := 1
+	for r.Float64() < p {
+		n++
+	}
+	return n
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Choice returns a uniformly chosen index weighted by the given
+// non-negative weights. It panics if weights is empty or sums to zero.
+func (r *RNG) Choice(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("stats: Choice with negative weight")
+		}
+		total += w
+	}
+	if len(weights) == 0 || total == 0 {
+		panic("stats: Choice with empty or zero weights")
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,249 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRNGDeterministic(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestNewRNGDifferentSeeds(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d identical draws out of 100", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(11)
+	acc := Accumulator{}
+	for i := 0; i < 100000; i++ {
+		acc.Add(r.Float64())
+	}
+	if math.Abs(acc.Mean()-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ~0.5", acc.Mean())
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) hit only %d distinct values in 1000 draws", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestBoolExtremes(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestBoolFrequency(t *testing.T) {
+	r := NewRNG(9)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency = %v", frac)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := NewRNG(13)
+	acc := Accumulator{}
+	for i := 0; i < 200000; i++ {
+		acc.Add(r.Norm())
+	}
+	if math.Abs(acc.Mean()) > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", acc.Mean())
+	}
+	if math.Abs(acc.StdDev()-1) > 0.02 {
+		t.Fatalf("normal stddev = %v, want ~1", acc.StdDev())
+	}
+}
+
+func TestNormAt(t *testing.T) {
+	r := NewRNG(17)
+	acc := Accumulator{}
+	for i := 0; i < 100000; i++ {
+		acc.Add(r.NormAt(5, 2))
+	}
+	if math.Abs(acc.Mean()-5) > 0.05 {
+		t.Fatalf("mean = %v, want ~5", acc.Mean())
+	}
+	if math.Abs(acc.StdDev()-2) > 0.05 {
+		t.Fatalf("stddev = %v, want ~2", acc.StdDev())
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := NewRNG(19)
+	for i := 0; i < 10000; i++ {
+		if v := r.LogNormal(0, 1); v <= 0 {
+			t.Fatalf("LogNormal produced non-positive %v", v)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(23)
+	acc := Accumulator{}
+	for i := 0; i < 100000; i++ {
+		acc.Add(r.Exp(2))
+	}
+	if math.Abs(acc.Mean()-0.5) > 0.01 {
+		t.Fatalf("Exp(2) mean = %v, want ~0.5", acc.Mean())
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	// Staying probability p = 0.5 implies mean duration 1/(1-p) = 2 epochs,
+	// matching the paper's cooling model.
+	r := NewRNG(29)
+	acc := Accumulator{}
+	for i := 0; i < 100000; i++ {
+		acc.Add(float64(r.Geometric(0.5)))
+	}
+	if math.Abs(acc.Mean()-2) > 0.05 {
+		t.Fatalf("Geometric(0.5) mean = %v, want ~2", acc.Mean())
+	}
+}
+
+func TestGeometricEdge(t *testing.T) {
+	r := NewRNG(31)
+	if r.Geometric(0) != 1 {
+		t.Fatal("Geometric(0) != 1")
+	}
+	if r.Geometric(-1) != 1 {
+		t.Fatal("Geometric(-1) != 1")
+	}
+	if r.Geometric(1) != math.MaxInt32 {
+		t.Fatal("Geometric(1) should saturate")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(37)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChoiceWeighted(t *testing.T) {
+	r := NewRNG(41)
+	counts := [3]int{}
+	const n = 90000
+	for i := 0; i < n; i++ {
+		counts[r.Choice([]float64{1, 2, 3})]++
+	}
+	want := [3]float64{1.0 / 6, 2.0 / 6, 3.0 / 6}
+	for i, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-want[i]) > 0.01 {
+			t.Fatalf("Choice index %d freq %v, want %v", i, frac, want[i])
+		}
+	}
+}
+
+func TestChoicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Choice on empty weights did not panic")
+		}
+	}()
+	NewRNG(1).Choice(nil)
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(43)
+	a := r.Split()
+	b := r.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams produced %d identical draws", same)
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	r := NewRNG(47)
+	for i := 0; i < 10000; i++ {
+		v := r.Range(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Range(2,5) out of bounds: %v", v)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package thermal models a chip multiprocessor's thermal package: a
+// lumped-capacitance die coupled to a phase-change-material (PCM) heat
+// sink, as used for computational sprinting (§2.1 of the paper).
+//
+// The model reproduces the paper's engineering numbers from first
+// principles: with the default paraffin-wax package, a sprint can be
+// sustained for about 150 seconds before the PCM is fully melted, and the
+// package needs about 300 seconds to re-solidify afterwards — twice the
+// sprint duration, which yields the paper's cooling-state persistence
+// probability pc = 0.5 at one epoch per sprint duration.
+package thermal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Package describes a chip thermal package with a PCM heat sink.
+type Package struct {
+	// AmbientC is the ambient temperature in Celsius.
+	AmbientC float64
+	// CapacitanceJPerK is the sensible thermal capacitance of die plus
+	// sink in joules per kelvin.
+	CapacitanceJPerK float64
+	// ConductanceWPerK is the thermal conductance from package to ambient
+	// in watts per kelvin.
+	ConductanceWPerK float64
+	// MeltC is the PCM melting point in Celsius. While the PCM is
+	// partially molten the package temperature is pinned at MeltC.
+	MeltC float64
+	// LatentJ is the PCM latent heat capacity in joules.
+	LatentJ float64
+	// MaxC is the junction temperature limit; exceeding it is a model
+	// violation (the sprint must end before the PCM is exhausted).
+	MaxC float64
+}
+
+// Default returns the paraffin-wax package used throughout the
+// reproduction. Together with the Default power model in package power it
+// gives a ~150 s sprint budget and ~300 s cooling time.
+func Default() Package {
+	return Package{
+		AmbientC:         25.0,
+		CapacitanceJPerK: 150.0,
+		ConductanceWPerK: 4.5,
+		MeltC:            37.667,
+		LatentJ:          3600.0,
+		MaxC:             75.0,
+	}
+}
+
+// Validate reports whether the package parameters are physically sensible.
+func (p Package) Validate() error {
+	if p.CapacitanceJPerK <= 0 {
+		return errors.New("thermal: capacitance must be positive")
+	}
+	if p.ConductanceWPerK <= 0 {
+		return errors.New("thermal: conductance must be positive")
+	}
+	if p.LatentJ < 0 {
+		return errors.New("thermal: latent heat must be non-negative")
+	}
+	if p.MeltC <= p.AmbientC {
+		return fmt.Errorf("thermal: melt point %v must exceed ambient %v", p.MeltC, p.AmbientC)
+	}
+	if p.MaxC <= p.MeltC {
+		return fmt.Errorf("thermal: max temperature %v must exceed melt point %v", p.MaxC, p.MeltC)
+	}
+	return nil
+}
+
+// SteadyStateC returns the equilibrium temperature at constant power,
+// ignoring the PCM (valid when the result is below MeltC, or when the PCM
+// is fully melted).
+func (p Package) SteadyStateC(powerW float64) float64 {
+	return p.AmbientC + powerW/p.ConductanceWPerK
+}
+
+// State is the instantaneous thermal state of a package.
+type State struct {
+	// TempC is the package temperature in Celsius.
+	TempC float64
+	// MeltFrac is the fraction of the PCM's latent capacity consumed,
+	// in [0, 1]. 0 = fully solid, 1 = fully melted.
+	MeltFrac float64
+}
+
+// Ambient returns the cold-start state.
+func (p Package) Ambient() State { return State{TempC: p.AmbientC} }
+
+// CanSprint reports whether the state has enough thermal headroom for a
+// full sprint epoch: the PCM must be fully solid, matching the paper's
+// rule that a chip must cool completely before sprinting again.
+func (s State) CanSprint() bool { return s.MeltFrac <= 1e-9 }
+
+// Step advances the state by dt seconds under the given power draw using
+// forward Euler on the lumped model:
+//
+//	C dT/dt = P − G (T − Tamb)        below/above the melt plateau
+//	dE/dt   = P − G (Tmelt − Tamb)    on the plateau (E = latent energy)
+func (p Package) Step(s State, powerW, dt float64) State {
+	net := powerW - p.ConductanceWPerK*(s.TempC-p.AmbientC)
+	onPlateau := math.Abs(s.TempC-p.MeltC) < 1e-9 &&
+		((net > 0 && s.MeltFrac < 1) || (net < 0 && s.MeltFrac > 0))
+	if onPlateau && p.LatentJ > 0 {
+		s.MeltFrac += net * dt / p.LatentJ
+		if s.MeltFrac > 1 {
+			// Excess energy beyond full melt becomes sensible heat.
+			over := (s.MeltFrac - 1) * p.LatentJ
+			s.MeltFrac = 1
+			s.TempC += over / p.CapacitanceJPerK
+		} else if s.MeltFrac < 0 {
+			under := -s.MeltFrac * p.LatentJ
+			s.MeltFrac = 0
+			s.TempC -= under / p.CapacitanceJPerK
+		}
+		return s
+	}
+	t := s.TempC + net*dt/p.CapacitanceJPerK
+	// Clamp crossings of the melt plateau onto it.
+	if p.LatentJ > 0 {
+		if s.TempC < p.MeltC && t > p.MeltC && s.MeltFrac < 1 {
+			t = p.MeltC
+		}
+		if s.TempC > p.MeltC && t < p.MeltC && s.MeltFrac > 0 {
+			t = p.MeltC
+		}
+	}
+	s.TempC = t
+	return s
+}
+
+// Sample is a point of a simulated thermal trajectory.
+type Sample struct {
+	TimeS    float64
+	TempC    float64
+	MeltFrac float64
+	PowerW   float64
+}
+
+// Simulate integrates the package under the given power schedule for
+// duration seconds with time step dt and returns the trajectory including
+// the initial state. power is called with the current time.
+func (p Package) Simulate(start State, power func(tS float64) float64, durationS, dtS float64) []Sample {
+	if dtS <= 0 {
+		dtS = 0.1
+	}
+	n := int(durationS/dtS) + 1
+	out := make([]Sample, 0, n)
+	s := start
+	for i := 0; i < n; i++ {
+		t := float64(i) * dtS
+		w := power(t)
+		out = append(out, Sample{TimeS: t, TempC: s.TempC, MeltFrac: s.MeltFrac, PowerW: w})
+		s = p.Step(s, w, dtS)
+	}
+	return out
+}
+
+// SprintBudgetS returns how long the package can sustain sprintPowerW
+// starting from the normal-mode steady state before the PCM is fully
+// melted (the paper's maximum sprint duration, ~150 s for the default
+// package). It returns +Inf if the sprint is thermally sustainable
+// (steady state below the melt point) and 0 if the package cannot absorb
+// a sprint at all.
+func (p Package) SprintBudgetS(normalPowerW, sprintPowerW float64) float64 {
+	if p.SteadyStateC(sprintPowerW) <= p.MeltC {
+		return math.Inf(1)
+	}
+	// Sensible phase: exponential rise from the normal steady state to
+	// the melt point with time constant tau = C/G.
+	t0 := p.SteadyStateC(normalPowerW)
+	if t0 > p.MeltC {
+		t0 = p.MeltC
+	}
+	tau := p.CapacitanceJPerK / p.ConductanceWPerK
+	tInf := p.SteadyStateC(sprintPowerW)
+	// Solve t0 + (tInf - t0)(1 - e^{-t/tau}) = MeltC.
+	frac := (p.MeltC - t0) / (tInf - t0)
+	sensible := 0.0
+	if frac > 0 {
+		sensible = -tau * math.Log(1-frac)
+	}
+	// Latent phase: constant net power into the PCM.
+	net := sprintPowerW - p.ConductanceWPerK*(p.MeltC-p.AmbientC)
+	if net <= 0 {
+		return math.Inf(1)
+	}
+	return sensible + p.LatentJ/net
+}
+
+// CoolTimeS returns how long a fully melted package takes to re-solidify
+// under normalPowerW (the paper's cooling duration, ~300 s for the default
+// package). It returns +Inf if the PCM cannot re-solidify at that power.
+func (p Package) CoolTimeS(normalPowerW float64) float64 {
+	release := p.ConductanceWPerK*(p.MeltC-p.AmbientC) - normalPowerW
+	if release <= 0 {
+		return math.Inf(1)
+	}
+	return p.LatentJ / release
+}
+
+// CoolingStayProbability converts the cooling duration into the paper's
+// per-epoch persistence probability pc, defined by 1/(1-pc) = cooling
+// epochs: pc = 1 - epoch/cool. Epochs longer than the cooling time give
+// pc = 0.
+func (p Package) CoolingStayProbability(normalPowerW, epochS float64) float64 {
+	cool := p.CoolTimeS(normalPowerW)
+	if math.IsInf(cool, 1) {
+		return 1
+	}
+	if epochS <= 0 || cool <= epochS {
+		return 0
+	}
+	return 1 - epochS/cool
+}

@@ -1,0 +1,279 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Power levels matching the default chip model: normal mode 45 W, sprint
+// 81 W (1.8x), as in Figure 1 of the paper.
+const (
+	normalW = 45.0
+	sprintW = 81.0
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadPackages(t *testing.T) {
+	cases := []func(*Package){
+		func(p *Package) { p.CapacitanceJPerK = 0 },
+		func(p *Package) { p.ConductanceWPerK = -1 },
+		func(p *Package) { p.LatentJ = -5 },
+		func(p *Package) { p.MeltC = p.AmbientC },
+		func(p *Package) { p.MaxC = p.MeltC },
+	}
+	for i, mutate := range cases {
+		p := Default()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestSteadyState(t *testing.T) {
+	p := Default()
+	// Normal mode settles at 35C: the paper's non-sprinting temperatures
+	// cluster in the mid 30s (Figure 1).
+	if got := p.SteadyStateC(normalW); !almost(got, 35, 1e-9) {
+		t.Errorf("normal steady state = %v", got)
+	}
+	// Sprint steady state is above the melt point, so sprints are
+	// thermally unsustainable.
+	if got := p.SteadyStateC(sprintW); got <= p.MeltC {
+		t.Errorf("sprint steady state %v should exceed melt %v", got, p.MeltC)
+	}
+}
+
+func TestSprintBudgetAround150s(t *testing.T) {
+	p := Default()
+	budget := p.SprintBudgetS(normalW, sprintW)
+	if budget < 120 || budget > 180 {
+		t.Errorf("sprint budget = %vs, want ~150s", budget)
+	}
+}
+
+func TestCoolTimeAround300s(t *testing.T) {
+	p := Default()
+	cool := p.CoolTimeS(normalW)
+	if cool < 250 || cool > 350 {
+		t.Errorf("cool time = %vs, want ~300s", cool)
+	}
+	// The paper: cooling takes about twice the sprint duration.
+	ratio := cool / p.SprintBudgetS(normalW, sprintW)
+	if ratio < 1.5 || ratio > 2.5 {
+		t.Errorf("cool/sprint ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestCoolingStayProbabilityPaperValue(t *testing.T) {
+	p := Default()
+	// With a 150 s epoch, pc should be about 0.5 (Table 2): cooling lasts
+	// two epochs in expectation.
+	pc := p.CoolingStayProbability(normalW, 150)
+	if pc < 0.4 || pc > 0.6 {
+		t.Errorf("pc = %v, want ~0.5", pc)
+	}
+}
+
+func TestCoolingStayProbabilityEdges(t *testing.T) {
+	p := Default()
+	if got := p.CoolingStayProbability(normalW, 0); got != 0 {
+		t.Errorf("zero epoch pc = %v", got)
+	}
+	if got := p.CoolingStayProbability(normalW, 1e9); got != 0 {
+		t.Errorf("huge epoch pc = %v", got)
+	}
+	// Power too high to ever re-solidify: cooling never completes.
+	hot := p.ConductanceWPerK*(p.MeltC-p.AmbientC) + 1
+	if got := p.CoolingStayProbability(hot, 150); got != 1 {
+		t.Errorf("unresolvable cooling pc = %v", got)
+	}
+}
+
+func TestSprintBudgetSustainable(t *testing.T) {
+	p := Default()
+	// A tiny "sprint" below the melt threshold can run forever.
+	if b := p.SprintBudgetS(normalW, 50); !math.IsInf(b, 1) {
+		t.Errorf("sustainable sprint budget = %v, want +Inf", b)
+	}
+}
+
+func TestCoolTimeInfinite(t *testing.T) {
+	p := Default()
+	hot := p.ConductanceWPerK * (p.MeltC - p.AmbientC)
+	if c := p.CoolTimeS(hot + 1); !math.IsInf(c, 1) {
+		t.Errorf("cool time = %v, want +Inf", c)
+	}
+}
+
+func TestStepApproachesSteadyState(t *testing.T) {
+	p := Default()
+	p.LatentJ = 0 // pure RC
+	p.MeltC = 1000
+	p.MaxC = 2000
+	s := p.Ambient()
+	for i := 0; i < 100000; i++ {
+		s = p.Step(s, normalW, 0.1)
+	}
+	if !almost(s.TempC, p.SteadyStateC(normalW), 0.01) {
+		t.Errorf("temp = %v, want %v", s.TempC, p.SteadyStateC(normalW))
+	}
+}
+
+func TestStepPlateauPinsTemperature(t *testing.T) {
+	p := Default()
+	s := State{TempC: p.MeltC, MeltFrac: 0.5}
+	next := p.Step(s, sprintW, 0.1)
+	if next.TempC != p.MeltC {
+		t.Errorf("temperature left the plateau: %v", next.TempC)
+	}
+	if next.MeltFrac <= s.MeltFrac {
+		t.Error("melt fraction should grow under sprint power")
+	}
+}
+
+func TestStepPlateauRefreezes(t *testing.T) {
+	p := Default()
+	s := State{TempC: p.MeltC, MeltFrac: 0.5}
+	next := p.Step(s, normalW, 0.1)
+	if next.MeltFrac >= s.MeltFrac {
+		t.Error("melt fraction should shrink under normal power")
+	}
+}
+
+func TestSimulateSprintThenCool(t *testing.T) {
+	p := Default()
+	sprintLen := 150.0
+	power := func(tS float64) float64 {
+		if tS < sprintLen {
+			return sprintW
+		}
+		return normalW
+	}
+	start := State{TempC: p.SteadyStateC(normalW)}
+	traj := p.Simulate(start, power, 600, 0.05)
+	if len(traj) == 0 {
+		t.Fatal("empty trajectory")
+	}
+	// Temperature never exceeds the junction limit.
+	peak := 0.0
+	for _, s := range traj {
+		if s.TempC > peak {
+			peak = s.TempC
+		}
+		if s.TempC > p.MaxC {
+			t.Fatalf("temperature %v exceeded junction limit at t=%v", s.TempC, s.TimeS)
+		}
+		if s.MeltFrac < -1e-9 || s.MeltFrac > 1+1e-9 {
+			t.Fatalf("melt fraction out of range: %v", s.MeltFrac)
+		}
+	}
+	// The sprint heats the package to the melt plateau.
+	if !almost(peak, p.MeltC, 0.5) {
+		t.Errorf("peak temp %v, want near melt %v", peak, p.MeltC)
+	}
+	// By the end of the 450 s cool-down the PCM is solid again.
+	last := traj[len(traj)-1]
+	if last.MeltFrac > 1e-6 {
+		t.Errorf("PCM still %.3f molten after cooldown", last.MeltFrac)
+	}
+	// CanSprint flips from true to false and back.
+	if !(State{TempC: last.TempC, MeltFrac: last.MeltFrac}).CanSprint() {
+		t.Error("package should be sprint-ready after full cooldown")
+	}
+}
+
+func TestSimulatedSprintBudgetMatchesAnalytic(t *testing.T) {
+	p := Default()
+	start := State{TempC: p.SteadyStateC(normalW)}
+	traj := p.Simulate(start, func(float64) float64 { return sprintW }, 400, 0.01)
+	// Find the first time the PCM is fully melted.
+	simBudget := math.Inf(1)
+	for _, s := range traj {
+		if s.MeltFrac >= 1-1e-9 {
+			simBudget = s.TimeS
+			break
+		}
+	}
+	analytic := p.SprintBudgetS(normalW, sprintW)
+	if math.IsInf(simBudget, 1) {
+		t.Fatal("simulation never exhausted the PCM")
+	}
+	if !almost(simBudget, analytic, 2) {
+		t.Errorf("simulated budget %v vs analytic %v", simBudget, analytic)
+	}
+}
+
+func TestSimulatedCoolTimeMatchesAnalytic(t *testing.T) {
+	p := Default()
+	start := State{TempC: p.MeltC, MeltFrac: 1}
+	traj := p.Simulate(start, func(float64) float64 { return normalW }, 600, 0.01)
+	simCool := math.Inf(1)
+	for _, s := range traj {
+		if s.MeltFrac <= 1e-9 {
+			simCool = s.TimeS
+			break
+		}
+	}
+	analytic := p.CoolTimeS(normalW)
+	if math.IsInf(simCool, 1) {
+		t.Fatal("simulation never re-solidified")
+	}
+	if !almost(simCool, analytic, 2) {
+		t.Errorf("simulated cool %v vs analytic %v", simCool, analytic)
+	}
+}
+
+func TestSimulateDefaultTimestep(t *testing.T) {
+	p := Default()
+	traj := p.Simulate(p.Ambient(), func(float64) float64 { return 0 }, 1, 0)
+	if len(traj) == 0 {
+		t.Fatal("dt <= 0 should be coerced, not produce empty output")
+	}
+}
+
+// Property: energy conservation. Over any simulated interval, stored
+// energy change (sensible + latent) equals integrated net power within
+// integration error.
+func TestEnergyConservationProperty(t *testing.T) {
+	p := Default()
+	f := func(seed uint16) bool {
+		powerW := 20 + float64(seed%100)
+		dt := 0.02
+		s0 := State{TempC: p.SteadyStateC(normalW)}
+		s := s0
+		netIn := 0.0
+		for i := 0; i < 5000; i++ {
+			netIn += (powerW - p.ConductanceWPerK*(s.TempC-p.AmbientC)) * dt
+			s = p.Step(s, powerW, dt)
+		}
+		stored := p.CapacitanceJPerK*(s.TempC-s0.TempC) + p.LatentJ*(s.MeltFrac-s0.MeltFrac)
+		return almost(stored, netIn, 1+0.01*math.Abs(netIn))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a bigger PCM never shortens the sprint budget.
+func TestSprintBudgetMonotoneInLatent(t *testing.T) {
+	p := Default()
+	prev := 0.0
+	for _, latent := range []float64{0, 1000, 3600, 10000} {
+		q := p
+		q.LatentJ = latent
+		b := q.SprintBudgetS(normalW, sprintW)
+		if b < prev {
+			t.Fatalf("budget decreased with more PCM: %v -> %v", prev, b)
+		}
+		prev = b
+	}
+}

@@ -1,0 +1,51 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadTraceSet hardens the trace-set decoder: arbitrary input must
+// either produce a validated trace set or an error — never a panic or an
+// invalid set.
+func FuzzLoadTraceSet(f *testing.F) {
+	// Seed with a valid trace set and near-valid corruptions.
+	b, err := ByName("decision")
+	if err != nil {
+		f.Fatal(err)
+	}
+	ts, err := GenerateTraceSet(b, 1, 2, 20)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ts.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"benchmark":"x","traces":[{"Benchmark":"x","Utilities":[1],"BaseTPS":[1]}]}`)
+	f.Add(`{"benchmark":"","traces":[]}`)
+	f.Add(`{nope`)
+	f.Add(`{"benchmark":"x","traces":[{"Utilities":[-1],"BaseTPS":[1]}]}`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		got, err := LoadTraceSet(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever decodes must satisfy the validator and replay safely.
+		if err := got.Validate(); err != nil {
+			t.Fatalf("LoadTraceSet returned an invalid set: %v", err)
+		}
+		r, err := NewReplayer(got.Traces[0], 0)
+		if err != nil {
+			t.Fatalf("valid set not replayable: %v", err)
+		}
+		for i := 0; i < 3; i++ {
+			if u := r.Next(); u < 0 {
+				t.Fatalf("replayed negative utility %v", u)
+			}
+		}
+	})
+}

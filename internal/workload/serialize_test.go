@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGenerateTraceSet(t *testing.T) {
+	b, _ := ByName("decision")
+	ts, err := GenerateTraceSet(b, 7, 5, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.Traces) != 5 {
+		t.Fatalf("got %d traces", len(ts.Traces))
+	}
+	for _, tr := range ts.Traces {
+		if tr.Len() != 200 {
+			t.Fatalf("trace length %d", tr.Len())
+		}
+	}
+	// Traces differ across agents.
+	same := 0
+	for e := 0; e < 200; e++ {
+		if ts.Traces[0].Utilities[e] == ts.Traces[1].Utilities[e] {
+			same++
+		}
+	}
+	if same > 20 {
+		t.Errorf("traces 0 and 1 agree on %d/200 epochs", same)
+	}
+	if _, err := GenerateTraceSet(b, 7, 0, 100); err == nil {
+		t.Error("zero traces should error")
+	}
+}
+
+func TestTraceSetRoundTrip(t *testing.T) {
+	b, _ := ByName("pagerank")
+	ts, err := GenerateTraceSet(b, 11, 3, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ts.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTraceSet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Benchmark != "pagerank" || got.Seed != 11 || len(got.Traces) != 3 {
+		t.Fatalf("round trip metadata wrong: %+v", got)
+	}
+	for i := range ts.Traces {
+		for e := range ts.Traces[i].Utilities {
+			if ts.Traces[i].Utilities[e] != got.Traces[i].Utilities[e] {
+				t.Fatalf("utility mismatch at trace %d epoch %d", i, e)
+			}
+		}
+	}
+}
+
+func TestLoadTraceSetRejectsBadInput(t *testing.T) {
+	if _, err := LoadTraceSet(strings.NewReader("{nope")); err == nil {
+		t.Error("malformed JSON should error")
+	}
+	if _, err := LoadTraceSet(strings.NewReader(`{"benchmark":"x","traces":[]}`)); err == nil {
+		t.Error("empty trace set should error")
+	}
+	if _, err := LoadTraceSet(strings.NewReader(
+		`{"benchmark":"x","traces":[{"Benchmark":"x","Utilities":[-1],"BaseTPS":[1]}]}`)); err == nil {
+		t.Error("negative utility should error")
+	}
+	if _, err := LoadTraceSet(strings.NewReader(
+		`{"benchmark":"x","traces":[{"Benchmark":"x","Utilities":[1,2],"BaseTPS":[1]}]}`)); err == nil {
+		t.Error("mismatched TPS series should error")
+	}
+}
+
+func TestValidateMissingName(t *testing.T) {
+	ts := &TraceSet{Traces: []*Trace{{Utilities: []float64{1}, BaseTPS: []float64{1}}}}
+	if ts.Validate() == nil {
+		t.Error("missing benchmark name should error")
+	}
+}
+
+func TestReplayerLoops(t *testing.T) {
+	tr := &Trace{Utilities: []float64{1, 2, 3}, BaseTPS: []float64{1, 1, 1}}
+	r, err := NewReplayer(tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, 1, 2, 3, 1, 2}
+	for i, w := range want {
+		if got := r.Next(); got != w {
+			t.Fatalf("step %d: got %v want %v", i, got, w)
+		}
+	}
+}
+
+func TestReplayerValidation(t *testing.T) {
+	if _, err := NewReplayer(nil, 0); err == nil {
+		t.Error("nil trace should error")
+	}
+	if _, err := NewReplayer(&Trace{}, 0); err == nil {
+		t.Error("empty trace should error")
+	}
+	tr := &Trace{Utilities: []float64{1}, BaseTPS: []float64{1}}
+	if _, err := NewReplayer(tr, -1); err == nil {
+		t.Error("negative offset should error")
+	}
+	// Offsets beyond the length wrap.
+	r, err := NewReplayer(tr, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Next() != 1 {
+		t.Error("wrapped offset wrong")
+	}
+}
+
+func TestTraceSetDensityMatchesModel(t *testing.T) {
+	b, _ := ByName("linear")
+	ts, err := GenerateTraceSet(b, 3, 20, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ts.Density(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Mean()-b.MeanSpeedup()) > 0.2 {
+		t.Errorf("trace-set density mean %v vs model %v", d.Mean(), b.MeanSpeedup())
+	}
+}

@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"sprintgame/internal/dist"
+	"sprintgame/internal/stats"
+)
+
+func TestTraceGeneratorDeterministic(t *testing.T) {
+	b, _ := ByName("decision")
+	g1, err := NewTraceGenerator(b, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := NewTraceGenerator(b, 42)
+	for i := 0; i < 200; i++ {
+		if g1.Next() != g2.Next() {
+			t.Fatalf("same seed diverged at epoch %d", i)
+		}
+	}
+}
+
+func TestTraceGeneratorSeedsDiffer(t *testing.T) {
+	b, _ := ByName("decision")
+	g1, _ := NewTraceGenerator(b, 1)
+	g2, _ := NewTraceGenerator(b, 2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if g1.Next() == g2.Next() {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Errorf("different seeds matched %d/100 epochs", same)
+	}
+}
+
+func TestTraceUtilitiesWithinSupport(t *testing.T) {
+	for _, b := range Catalog() {
+		g, err := NewTraceGenerator(b, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		lo, hi := b.Density().Support()
+		for i := 0; i < 2000; i++ {
+			u := g.Next()
+			if u < lo-1e-9 || u > hi+1e-9 {
+				t.Fatalf("%s: utility %v outside density support [%v, %v]", b.Name, u, lo, hi)
+			}
+		}
+	}
+}
+
+func TestTraceMeanMatchesDensity(t *testing.T) {
+	// Long-run trace mean should approximate the stationary density mean.
+	for _, name := range []string{"linear", "pagerank", "kmeans"} {
+		b, _ := ByName(name)
+		g, _ := NewTraceGenerator(b, 99)
+		acc := stats.Accumulator{}
+		for i := 0; i < 60000; i++ {
+			acc.Add(g.Next())
+		}
+		want := b.MeanSpeedup()
+		if math.Abs(acc.Mean()-want) > 0.25*want {
+			t.Errorf("%s: trace mean %v vs density mean %v", name, acc.Mean(), want)
+		}
+	}
+}
+
+func TestTraceTemporalCorrelation(t *testing.T) {
+	// Phases imply positive autocorrelation at lag 1 for multi-phase
+	// benchmarks: adjacent epochs mostly share a phase.
+	b, _ := ByName("pagerank")
+	g, _ := NewTraceGenerator(b, 11)
+	n := 20000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = g.Next()
+	}
+	mean := stats.Mean(xs)
+	num, den := 0.0, 0.0
+	for i := 0; i < n-1; i++ {
+		num += (xs[i] - mean) * (xs[i+1] - mean)
+	}
+	for i := 0; i < n; i++ {
+		den += (xs[i] - mean) * (xs[i] - mean)
+	}
+	rho := num / den
+	if rho < 0.3 {
+		t.Errorf("lag-1 autocorrelation %v, want strong phase persistence", rho)
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	b, _ := ByName("svm")
+	g, _ := NewTraceGenerator(b, 3)
+	tr, err := g.Generate(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 500 || len(tr.BaseTPS) != 500 {
+		t.Fatalf("trace length %d", tr.Len())
+	}
+	if tr.Benchmark != "svm" {
+		t.Errorf("benchmark label %q", tr.Benchmark)
+	}
+	for i, tps := range tr.BaseTPS {
+		if tps <= 0 {
+			t.Fatalf("non-positive BaseTPS at %d", i)
+		}
+	}
+	if _, err := g.Generate(0); err == nil {
+		t.Error("zero-length trace should error")
+	}
+}
+
+func TestEmpiricalDensityApproximatesModel(t *testing.T) {
+	b, _ := ByName("linear")
+	emp, err := EmpiricalDensity(b, 5, 40000, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(emp.Mean()-b.MeanSpeedup()) > 0.3 {
+		t.Errorf("empirical mean %v vs model %v", emp.Mean(), b.MeanSpeedup())
+	}
+	// Tail probabilities should agree with the analytic density.
+	model, _ := b.DiscreteDensity(400)
+	for _, th := range []float64{3.5, 4, 4.5} {
+		if diff := math.Abs(emp.TailProb(th) - model.TailProb(th)); diff > 0.1 {
+			t.Errorf("tail prob at %v differs by %v", th, diff)
+		}
+	}
+}
+
+func TestEmpiricalDensityBimodalForPageRank(t *testing.T) {
+	b, _ := ByName("pagerank")
+	g, _ := NewTraceGenerator(b, 13)
+	samples := g.SampleDensity(30000)
+	kde, err := dist.NewKDE(samples, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valley := kde.PDF(6)
+	if kde.PDF(2.2) <= valley || kde.PDF(11.5) <= valley {
+		t.Error("profiled PageRank density lost its bimodality")
+	}
+}
+
+func TestNewTraceGeneratorRejectsInvalid(t *testing.T) {
+	b := &Benchmark{Name: "bad"}
+	if _, err := NewTraceGenerator(b, 1); err == nil {
+		t.Error("invalid benchmark should be rejected")
+	}
+}
