@@ -1,0 +1,18 @@
+# Convenience targets; `make check` is the pre-commit gate.
+
+GO ?= go
+
+.PHONY: build test check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# vet + build + race-detector test run (see scripts/check.sh).
+check:
+	sh scripts/check.sh
+
+bench:
+	$(GO) test -bench . -benchtime 1x

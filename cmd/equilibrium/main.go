@@ -5,37 +5,94 @@
 // Usage:
 //
 //	equilibrium -apps decision=600,pagerank=400
-//	equilibrium -serve 127.0.0.1:7077
+//	equilibrium -serve 127.0.0.1:7077 -debug-addr 127.0.0.1:6060
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
 	"sprintgame/internal/coord"
 	"sprintgame/internal/core"
 	"sprintgame/internal/sim"
+	"sprintgame/internal/telemetry"
 	"sprintgame/internal/workload"
 )
 
 func main() {
 	var (
-		apps  = flag.String("apps", "decision=1000", "class counts, e.g. decision=600,pagerank=400")
-		serve = flag.String("serve", "", "serve the coordinator protocol on this TCP address instead")
-		bins  = flag.Int("bins", sim.DensityBins, "utility density bins")
+		apps        = flag.String("apps", "decision=1000", "class counts, e.g. decision=600,pagerank=400")
+		serve       = flag.String("serve", "", "serve the coordinator protocol on this TCP address instead")
+		bins        = flag.Int("bins", sim.DensityBins, "utility density bins")
+		connTimeout = flag.Duration("conn-timeout", coord.DefaultConnTimeout, "per-connection read/write deadline in serve mode (negative disables)")
+		traceOut    = flag.String("trace", "", "write a JSONL telemetry trace (solver/coordinator events) to this file ('-' for stdout)")
+		debugAddr   = flag.String("debug-addr", "", "serve the debug endpoint (/metrics, /debug/pprof, /debug/vars) on this address")
 	)
 	flag.Parse()
 
-	if *serve != "" {
-		c, err := coord.NewCoordinator(core.DefaultConfig())
+	var metrics *telemetry.Registry
+	var tracer *telemetry.Tracer
+	if *debugAddr != "" || *serve != "" {
+		metrics = telemetry.NewRegistry()
+	}
+	if *traceOut != "" {
+		f := os.Stdout
+		if *traceOut != "-" {
+			var err error
+			f, err = os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		bw := bufio.NewWriter(f)
+		tracer = telemetry.NewTracer(bw)
+		if *serve != "" {
+			// Live coordinator events are wall-clock stamped.
+			tracer.WithClock(time.Now)
+		}
+		defer func() {
+			if err := tracer.Err(); err != nil {
+				fatal(fmt.Errorf("trace %s: %w", *traceOut, err))
+			}
+			if err := bw.Flush(); err != nil {
+				fatal(fmt.Errorf("trace %s: %w", *traceOut, err))
+			}
+			if *traceOut != "-" {
+				if err := f.Close(); err != nil {
+					fatal(fmt.Errorf("trace %s: %w", *traceOut, err))
+				}
+			}
+		}()
+	}
+	if *debugAddr != "" {
+		dbg, err := telemetry.ServeDebug(*debugAddr, metrics)
 		if err != nil {
 			fatal(err)
 		}
-		srv, err := coord.Serve(c, *serve)
+		defer dbg.Close()
+		fmt.Printf("debug endpoint: %s (metrics at /metrics, profiles at /debug/pprof/)\n", dbg.URL())
+	}
+
+	if *serve != "" {
+		gameCfg := core.DefaultConfig()
+		gameCfg.Metrics = metrics
+		gameCfg.Tracer = tracer
+		c, err := coord.NewCoordinator(gameCfg)
+		if err != nil {
+			fatal(err)
+		}
+		srv, err := coord.ServeWith(c, coord.ServeOptions{
+			Addr:        *serve,
+			ConnTimeout: *connTimeout,
+			Metrics:     metrics,
+			Tracer:      tracer,
+		})
 		if err != nil {
 			fatal(err)
 		}
@@ -48,6 +105,8 @@ func main() {
 	}
 
 	cfg := core.DefaultConfig()
+	cfg.Metrics = metrics
+	cfg.Tracer = tracer
 	classes := []core.AgentClass{}
 	total := 0
 	for _, spec := range strings.Split(*apps, ",") {

@@ -6,9 +6,11 @@
 //
 //	sprintgame -app decision -policy equilibrium -epochs 1000
 //	sprintgame -app decision,pagerank -policy greedy -series series.csv
+//	sprintgame -trace run.jsonl -metrics metrics.json -debug-addr 127.0.0.1:6060
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -18,19 +20,23 @@ import (
 	"sprintgame/internal/policy"
 	"sprintgame/internal/power"
 	"sprintgame/internal/sim"
+	"sprintgame/internal/telemetry"
 	"sprintgame/internal/workload"
 )
 
 func main() {
 	var (
-		apps    = flag.String("app", "decision", "comma-separated benchmark names (see -apps)")
-		listApp = flag.Bool("apps", false, "list benchmark names and exit")
-		polName = flag.String("policy", "equilibrium", "greedy | backoff | equilibrium | cooperative | never")
-		epochs  = flag.Int("epochs", 1000, "epochs to simulate")
-		agents  = flag.Int("agents", 1000, "number of agents (chips)")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		series  = flag.String("series", "", "write per-epoch sprinter counts as CSV to this file")
-		traces  = flag.String("traces", "", "drive the simulation from a recorded trace set (JSON from tracegen -o) instead of live generation")
+		apps      = flag.String("app", "decision", "comma-separated benchmark names (see -apps)")
+		listApp   = flag.Bool("apps", false, "list benchmark names and exit")
+		polName   = flag.String("policy", "equilibrium", "greedy | backoff | equilibrium | cooperative | never")
+		epochs    = flag.Int("epochs", 1000, "epochs to simulate")
+		agents    = flag.Int("agents", 1000, "number of agents (chips)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		series    = flag.String("series", "", "write per-epoch sprinter counts as CSV to this file")
+		traces    = flag.String("traces", "", "drive the simulation from a recorded trace set (JSON from tracegen -o) instead of live generation")
+		traceOut  = flag.String("trace", "", "write a JSONL telemetry trace (epoch/trip/recovery/solver events) to this file ('-' for stdout)")
+		metricsTo = flag.String("metrics", "", "write the final metrics registry as JSON to this file ('-' for stdout)")
+		debugAddr = flag.String("debug-addr", "", "serve the debug endpoint (/metrics, /debug/pprof, /debug/vars) on this address while running")
 	)
 	flag.Parse()
 
@@ -41,6 +47,41 @@ func main() {
 		return
 	}
 
+	// Telemetry is opt-in: with none of the flags set, the registry and
+	// tracer stay nil and the hot paths skip all instrumentation.
+	var metrics *telemetry.Registry
+	var tracer *telemetry.Tracer
+	if *metricsTo != "" || *debugAddr != "" {
+		metrics = telemetry.NewRegistry()
+	}
+	if *traceOut != "" {
+		f, closeTrace, err := openSink(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		bw := bufio.NewWriter(f)
+		tracer = telemetry.NewTracer(bw)
+		defer func() {
+			if err := tracer.Err(); err != nil {
+				fatal(fmt.Errorf("trace %s: %w", *traceOut, err))
+			}
+			if err := bw.Flush(); err != nil {
+				fatal(fmt.Errorf("trace %s: %w", *traceOut, err))
+			}
+			if err := closeTrace(); err != nil {
+				fatal(fmt.Errorf("trace %s: %w", *traceOut, err))
+			}
+		}()
+	}
+	if *debugAddr != "" {
+		dbg, err := telemetry.ServeDebug(*debugAddr, metrics)
+		if err != nil {
+			fatal(err)
+		}
+		defer dbg.Close()
+		fmt.Printf("debug endpoint: %s (metrics at /metrics, profiles at /debug/pprof/)\n", dbg.URL())
+	}
+
 	game := core.DefaultConfig()
 	if *agents != game.N {
 		nmin, nmax := game.Trip.Bounds()
@@ -48,6 +89,9 @@ func main() {
 		game.Trip = power.LinearTripModel{NMin: nmin * f, NMax: nmax * f}
 		game.N = *agents
 	}
+	game.Metrics = metrics
+	game.Tracer = tracer
+	game.Trip = power.Instrument(game.Trip, metrics, nil)
 
 	var groups []sim.Group
 	if *traces != "" {
@@ -81,6 +125,8 @@ func main() {
 		Game:         game,
 		Groups:       groups,
 		RecordSeries: *series != "",
+		Metrics:      metrics,
+		Tracer:       tracer,
 	}
 
 	var pol policy.Policy
@@ -132,17 +178,60 @@ func main() {
 	}
 
 	if *series != "" {
-		f, err := os.Create(*series)
-		if err != nil {
+		if err := writeSeries(*series, res); err != nil {
 			fatal(err)
-		}
-		defer f.Close()
-		fmt.Fprintln(f, "epoch,sprinters,recovering")
-		for i := range res.SprintersPerEpoch {
-			fmt.Fprintf(f, "%d,%d,%d\n", i, res.SprintersPerEpoch[i], res.RecoveringPerEpoch[i])
 		}
 		fmt.Printf("wrote per-epoch series to %s\n", *series)
 	}
+	if *metricsTo != "" {
+		w, closeMetrics, err := openSink(*metricsTo)
+		if err != nil {
+			fatal(err)
+		}
+		if err := metrics.WriteJSON(w); err != nil {
+			fatal(fmt.Errorf("metrics %s: %w", *metricsTo, err))
+		}
+		if err := closeMetrics(); err != nil {
+			fatal(fmt.Errorf("metrics %s: %w", *metricsTo, err))
+		}
+	}
+}
+
+// writeSeries writes the per-epoch CSV, surfacing every write error —
+// including Close, so a full disk cannot silently truncate the file.
+func writeSeries(path string, res *sim.Result) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	w := bufio.NewWriter(f)
+	if _, err := fmt.Fprintln(w, "epoch,sprinters,recovering"); err != nil {
+		return err
+	}
+	for i := range res.SprintersPerEpoch {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d\n", i, res.SprintersPerEpoch[i], res.RecoveringPerEpoch[i]); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// openSink opens path for writing; "-" selects stdout (whose close is a
+// no-op so the caller's deferred checks stay uniform).
+func openSink(path string) (w *os.File, closeFn func() error, err error) {
+	if path == "-" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
 }
 
 func fatal(err error) {

@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"sprintgame/internal/telemetry"
 )
 
 // The wire protocol is newline-delimited JSON over TCP. Each request is
@@ -34,27 +36,69 @@ type response struct {
 	Ptrip float64 `json:"ptrip,omitempty"`
 }
 
+// DefaultConnTimeout is the server's default per-connection idle
+// deadline: a connection that neither delivers a request line nor
+// accepts a response for this long is closed, so a stalled or half-open
+// client cannot pin a handler goroutine forever.
+const DefaultConnTimeout = 2 * time.Minute
+
+// ServeOptions configures a Server.
+type ServeOptions struct {
+	// Addr is the TCP listen address (e.g. "127.0.0.1:0").
+	Addr string
+	// ConnTimeout is the per-connection read/write deadline, re-armed
+	// before every request read and response write. Zero selects
+	// DefaultConnTimeout; negative disables deadlines entirely.
+	ConnTimeout time.Duration
+	// Metrics, when non-nil, receives server metrics (coord.requests,
+	// coord.request_latency_s, coord.connections, ...).
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, receives per-request coord.request events.
+	Tracer *telemetry.Tracer
+}
+
 // Server exposes a Coordinator over TCP.
 type Server struct {
-	coord *Coordinator
-	ln    net.Listener
+	coord   *Coordinator
+	ln      net.Listener
+	timeout time.Duration
+	metrics *telemetry.Registry
+	tracer  *telemetry.Tracer
 
 	mu     sync.Mutex
 	closed bool
 	wg     sync.WaitGroup
 }
 
-// Serve starts a server on addr (e.g. "127.0.0.1:0") and returns it.
-// Connections are handled until Close.
+// Serve starts a server on addr (e.g. "127.0.0.1:0") with default
+// options and returns it. Connections are handled until Close.
 func Serve(coord *Coordinator, addr string) (*Server, error) {
+	return ServeWith(coord, ServeOptions{Addr: addr})
+}
+
+// ServeWith starts a server with explicit options.
+func ServeWith(coord *Coordinator, opts ServeOptions) (*Server, error) {
 	if coord == nil {
 		return nil, errors.New("coord: nil coordinator")
 	}
-	ln, err := net.Listen("tcp", addr)
+	timeout := opts.ConnTimeout
+	switch {
+	case timeout == 0:
+		timeout = DefaultConnTimeout
+	case timeout < 0:
+		timeout = 0
+	}
+	ln, err := net.Listen("tcp", opts.Addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{coord: coord, ln: ln}
+	s := &Server{
+		coord:   coord,
+		ln:      ln,
+		timeout: timeout,
+		metrics: opts.Metrics,
+		tracer:  opts.Tracer,
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -94,18 +138,58 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// requestLatencyBuckets spans 100 µs quick submits to multi-second
+// equilibrium solves.
+var requestLatencyBuckets = telemetry.ExponentialBuckets(1e-4, 10, 7)
+
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	s.metrics.Counter("coord.connections").Inc()
 	scanner := bufio.NewScanner(conn)
 	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	enc := json.NewEncoder(conn)
-	for scanner.Scan() {
-		var req request
-		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
-			_ = enc.Encode(response{Error: "malformed request: " + err.Error()})
-			continue
+	for {
+		if s.timeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.timeout))
 		}
-		_ = enc.Encode(s.dispatch(req))
+		if !scanner.Scan() {
+			if err := scanner.Err(); err != nil {
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					s.metrics.Counter("coord.conn_timeouts").Inc()
+				}
+			}
+			return
+		}
+		var req request
+		var resp response
+		start := time.Now()
+		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
+			req.Type = "malformed"
+			resp = response{Error: "malformed request: " + err.Error()}
+		} else {
+			resp = s.dispatch(req)
+		}
+		latency := time.Since(start).Seconds()
+		s.metrics.Counter("coord.requests").Inc()
+		s.metrics.Counter("coord.requests."+req.Type).Inc()
+		s.metrics.Histogram("coord.request_latency_s", requestLatencyBuckets).Observe(latency)
+		if resp.Error != "" {
+			s.metrics.Counter("coord.request_errors").Inc()
+		}
+		if s.tracer.Enabled() {
+			s.tracer.Emit("coord.request", telemetry.Fields{
+				"type":      req.Type,
+				"error":     resp.Error,
+				"latency_s": latency,
+			})
+		}
+		if s.timeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(s.timeout))
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
 	}
 }
 

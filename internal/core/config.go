@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"sprintgame/internal/power"
+	"sprintgame/internal/telemetry"
 )
 
 // Config collects the game's technology and system parameters (Table 2)
@@ -44,6 +45,14 @@ type Config struct {
 	// P <- (1-Damping)*P + Damping*P'. 1 reproduces the undamped
 	// Algorithm 1; smaller values stabilize oscillating instances.
 	Damping float64
+
+	// Metrics, when non-nil, receives solver metrics (solver.runs,
+	// solver.iterations, solver.residual, ...). Nil disables metrics at
+	// negligible cost.
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, receives per-iteration solver.step events
+	// and a final solver.done event as JSONL. Nil disables tracing.
+	Tracer *telemetry.Tracer
 }
 
 // DefaultConfig returns the paper's Table 2 parameters with solver

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"sprintgame/internal/telemetry"
+	"sprintgame/internal/workload"
+)
+
+// TestCatalogConvergenceReporting pins down the solver's convergence
+// reporting for every catalog workload: Algorithm 1 must converge within
+// the iteration budget, report an accurate iteration count, and produce
+// a per-iteration residual trace whose tail shrinks monotonically once
+// the damped iteration settles (the early iterations may blip where the
+// trajectory crosses the kinks of Eq. 11).
+func TestCatalogConvergenceReporting(t *testing.T) {
+	cfg := testConfig()
+	for _, b := range workload.Catalog() {
+		f, err := b.DiscreteDensity(250)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		eq, err := SingleClass(b.Name, f, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if !eq.Converged {
+			t.Errorf("%s: did not converge", b.Name)
+			continue
+		}
+		if eq.Iterations < 1 || eq.Iterations > cfg.MaxFixedPointIter {
+			t.Errorf("%s: iterations = %d, budget %d", b.Name, eq.Iterations, cfg.MaxFixedPointIter)
+		}
+		r := eq.Residuals
+		if len(r) != eq.Iterations {
+			t.Fatalf("%s: %d residuals for %d iterations", b.Name, len(r), eq.Iterations)
+		}
+		if last := r[len(r)-1]; last >= cfg.FixedPointTol {
+			t.Errorf("%s: final residual %v not under tolerance %v", b.Name, last, cfg.FixedPointTol)
+		}
+		if r[len(r)-1] >= r[0] {
+			t.Errorf("%s: residual did not shrink (%v -> %v)", b.Name, r[0], r[len(r)-1])
+		}
+		// Monotone tail: from the midpoint on, each damped step must
+		// shrink the residual.
+		for i := len(r)/2 + 1; i < len(r); i++ {
+			if r[i] > r[i-1] {
+				t.Errorf("%s: residual grew at iteration %d: %v -> %v", b.Name, i+1, r[i-1], r[i])
+			}
+		}
+	}
+}
+
+func TestUnconvergedResidualTraceLength(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxFixedPointIter = 3
+	eq, err := SingleClass("decision", density(t, "decision"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq.Converged {
+		t.Fatal("3 iterations from P=1 should not converge")
+	}
+	if len(eq.Residuals) != 3 {
+		t.Errorf("residuals = %v, want length 3", eq.Residuals)
+	}
+}
+
+func TestSolverTelemetry(t *testing.T) {
+	cfg := testConfig()
+	cfg.Metrics = telemetry.NewRegistry()
+	var buf bytes.Buffer
+	cfg.Tracer = telemetry.NewTracer(&buf)
+
+	eq, err := SingleClass("decision", density(t, "decision"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.Metrics.Counter("solver.runs").Value(); got != 1 {
+		t.Errorf("solver.runs = %d", got)
+	}
+	if got := cfg.Metrics.Counter("solver.converged").Value(); got != 1 {
+		t.Errorf("solver.converged = %d", got)
+	}
+	h := cfg.Metrics.Histogram("solver.iterations", nil).Snapshot()
+	if h.Count != 1 || h.Sum != float64(eq.Iterations) {
+		t.Errorf("solver.iterations histogram = %+v, want one observation of %d", h, eq.Iterations)
+	}
+	if g := cfg.Metrics.Gauge("solver.residual").Value(); g != eq.Residuals[len(eq.Residuals)-1] {
+		t.Errorf("solver.residual gauge = %v, want final residual %v", g, eq.Residuals[len(eq.Residuals)-1])
+	}
+
+	// The JSONL trace must contain one solver.step per iteration, with
+	// residuals matching Equilibrium.Residuals, then one solver.done.
+	type step struct {
+		Event    string  `json:"event"`
+		Iter     int     `json:"iter"`
+		Residual float64 `json:"residual"`
+	}
+	var steps []step
+	var done int
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var s step
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("bad trace line %q: %v", sc.Text(), err)
+		}
+		switch s.Event {
+		case "solver.step":
+			steps = append(steps, s)
+		case "solver.done":
+			done++
+		}
+	}
+	if len(steps) != eq.Iterations {
+		t.Fatalf("%d solver.step events for %d iterations", len(steps), eq.Iterations)
+	}
+	if done != 1 {
+		t.Errorf("%d solver.done events", done)
+	}
+	for i, s := range steps {
+		if s.Iter != i+1 || s.Residual != eq.Residuals[i] {
+			t.Errorf("step %d = %+v, want iter %d residual %v", i, s, i+1, eq.Residuals[i])
+		}
+	}
+}

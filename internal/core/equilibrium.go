@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"sprintgame/internal/dist"
+	"sprintgame/internal/telemetry"
 )
 
 // AgentClass is a group of agents running the same application type:
@@ -60,6 +61,12 @@ type Equilibrium struct {
 	Classes []ClassOutcome
 	// Iterations is the number of Algorithm 1 iterations performed.
 	Iterations int
+	// Residuals records, per iteration, the fixed-point residual
+	// |Ptrip' - Ptrip| before the damped update (len == Iterations).
+	// The damped iteration is a contraction on the paper's instances, so
+	// the tail of this series shrinks geometrically; a flat or growing
+	// tail indicates an oscillating instance that needs more damping.
+	Residuals []float64
 	// Converged reports whether the fixed point met tolerance (false
 	// means the caller got the best available approximation).
 	Converged bool
@@ -92,6 +99,9 @@ func FindEquilibrium(classes []AgentClass, cfg Config) (*Equilibrium, error) {
 		return nil, fmt.Errorf("core: class counts sum to %d but config has N = %d", total, cfg.N)
 	}
 
+	cfg.Metrics.Counter("solver.runs").Inc()
+	residualGauge := cfg.Metrics.Gauge("solver.residual")
+
 	ptrip := 1.0 // Algorithm 1 initialization
 	eq := &Equilibrium{Classes: make([]ClassOutcome, len(classes))}
 	for iter := 1; iter <= cfg.MaxFixedPointIter; iter++ {
@@ -115,18 +125,53 @@ func FindEquilibrium(classes []AgentClass, cfg Config) (*Equilibrium, error) {
 			nS += contrib
 		}
 		next := cfg.Trip.Ptrip(nS)
+		residual := math.Abs(next - ptrip)
 		eq.Sprinters = nS
 		eq.Iterations = iter
-		if math.Abs(next-ptrip) < cfg.FixedPointTol {
+		eq.Residuals = append(eq.Residuals, residual)
+		residualGauge.Set(residual)
+		if cfg.Tracer.Enabled() {
+			cfg.Tracer.Emit("solver.step", telemetry.Fields{
+				"iter":      iter,
+				"ptrip":     ptrip,
+				"next":      next,
+				"residual":  residual,
+				"sprinters": nS,
+			})
+		}
+		if residual < cfg.FixedPointTol {
 			eq.Ptrip = ptrip
 			eq.Converged = true
+			finishSolve(cfg, eq)
 			return eq, nil
 		}
 		ptrip += cfg.Damping * (next - ptrip)
 	}
 	eq.Ptrip = ptrip
+	finishSolve(cfg, eq)
 	return eq, nil
 }
+
+// finishSolve records end-of-run solver telemetry.
+func finishSolve(cfg Config, eq *Equilibrium) {
+	cfg.Metrics.Histogram("solver.iterations", solverIterBuckets).Observe(float64(eq.Iterations))
+	if eq.Converged {
+		cfg.Metrics.Counter("solver.converged").Inc()
+	} else {
+		cfg.Metrics.Counter("solver.unconverged").Inc()
+	}
+	if cfg.Tracer.Enabled() {
+		cfg.Tracer.Emit("solver.done", telemetry.Fields{
+			"iterations": eq.Iterations,
+			"converged":  eq.Converged,
+			"ptrip":      eq.Ptrip,
+			"sprinters":  eq.Sprinters,
+		})
+	}
+}
+
+// solverIterBuckets spans quick solves to the MaxFixedPointIter default.
+var solverIterBuckets = telemetry.ExponentialBuckets(4, 2, 10)
 
 // SingleClass is a convenience wrapper: all cfg.N agents run the same
 // application.

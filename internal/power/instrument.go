@@ -1,0 +1,45 @@
+package power
+
+import "sprintgame/internal/telemetry"
+
+// InstrumentedTripModel wraps a TripModel with telemetry: every Ptrip
+// evaluation bumps power.ptrip_evals, publishes the evaluated
+// probability as the power.ptrip gauge, and — when the probability is
+// nonzero — emits a power.risk trace event. The sim and solver both
+// evaluate the trip model on their hot paths, so wrapping is opt-in;
+// Instrument with a nil registry and tracer returns the model unwrapped.
+type InstrumentedTripModel struct {
+	Model   TripModel
+	Metrics *telemetry.Registry
+	Tracer  *telemetry.Tracer
+}
+
+// Instrument wraps m with telemetry sinks. If both sinks are nil the
+// model is returned as-is, keeping the disabled path allocation- and
+// indirection-free.
+func Instrument(m TripModel, reg *telemetry.Registry, tr *telemetry.Tracer) TripModel {
+	if reg == nil && tr == nil {
+		return m
+	}
+	return InstrumentedTripModel{Model: m, Metrics: reg, Tracer: tr}
+}
+
+// Ptrip evaluates the wrapped model and records the result.
+func (m InstrumentedTripModel) Ptrip(nSprinters float64) float64 {
+	p := m.Model.Ptrip(nSprinters)
+	m.Metrics.Counter("power.ptrip_evals").Inc()
+	m.Metrics.Gauge("power.ptrip").Set(p)
+	if p > 0 && m.Tracer.Enabled() {
+		m.Tracer.Emit("power.risk", telemetry.Fields{
+			"sprinters": nSprinters,
+			"ptrip":     p,
+		})
+	}
+	return p
+}
+
+// Bounds delegates to the wrapped model.
+func (m InstrumentedTripModel) Bounds() (float64, float64) { return m.Model.Bounds() }
+
+// Unwrap returns the underlying model.
+func (m InstrumentedTripModel) Unwrap() TripModel { return m.Model }

@@ -1,0 +1,53 @@
+package power
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sprintgame/internal/telemetry"
+)
+
+func TestInstrumentPassthroughWhenDisabled(t *testing.T) {
+	m := PaperTripModel()
+	got := Instrument(m, nil, nil)
+	if got != TripModel(m) {
+		t.Errorf("Instrument with nil sinks should return the model unchanged, got %T", got)
+	}
+}
+
+func TestInstrumentedTripModelRecords(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	var buf bytes.Buffer
+	tr := telemetry.NewTracer(&buf)
+	m := Instrument(PaperTripModel(), reg, tr)
+
+	if p := m.Ptrip(0); p != 0 {
+		t.Errorf("Ptrip(0) = %v", p)
+	}
+	if p := m.Ptrip(500); p != 0.5 {
+		t.Errorf("Ptrip(500) = %v", p)
+	}
+	if got := reg.Counter("power.ptrip_evals").Value(); got != 2 {
+		t.Errorf("ptrip_evals = %d", got)
+	}
+	if got := reg.Gauge("power.ptrip").Value(); got != 0.5 {
+		t.Errorf("ptrip gauge = %v", got)
+	}
+	// Only the nonzero-risk evaluation traces.
+	if tr.Count() != 1 || !strings.Contains(buf.String(), `"event":"power.risk"`) {
+		t.Errorf("trace = %q (count %d)", buf.String(), tr.Count())
+	}
+
+	lo, hi := m.Bounds()
+	if lo != 250 || hi != 750 {
+		t.Errorf("bounds = %v, %v", lo, hi)
+	}
+	im, ok := m.(InstrumentedTripModel)
+	if !ok {
+		t.Fatalf("expected InstrumentedTripModel, got %T", m)
+	}
+	if im.Unwrap() != TripModel(PaperTripModel()) {
+		t.Error("Unwrap should return the wrapped model")
+	}
+}

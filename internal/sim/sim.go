@@ -22,6 +22,7 @@ import (
 	"sprintgame/internal/core"
 	"sprintgame/internal/policy"
 	"sprintgame/internal/stats"
+	"sprintgame/internal/telemetry"
 	"sprintgame/internal/workload"
 )
 
@@ -82,6 +83,14 @@ type Config struct {
 	// TrackAgents lists agent ids whose individual task rates should be
 	// reported (used by the deviation experiments of §6.4).
 	TrackAgents []int
+	// Metrics, when non-nil, receives run metrics (sim.epochs,
+	// sim.sprinters_per_epoch, power.trips, ...). Nil disables metrics
+	// at negligible cost.
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, receives per-epoch sim.epoch events (with
+	// sprint decisions aggregated per class), sim.trip / sim.recovery
+	// events, and a final sim.done event as JSONL. Nil disables tracing.
+	Tracer *telemetry.Tracer
 }
 
 // Validate checks the simulation configuration.
@@ -264,10 +273,28 @@ func Run(cfg Config, pol policy.Policy) (*Result, error) {
 	recoveryExit := 1 - cfg.Game.Pr
 	nMin, _ := cfg.Game.Trip.Bounds()
 
+	// Telemetry instruments are hoisted out of the epoch loop; with a nil
+	// registry/tracer each per-epoch call is a single nil test.
+	epochCounter := cfg.Metrics.Counter("sim.epochs")
+	tripCounter := cfg.Metrics.Counter("power.trips")
+	recoveryCounter := cfg.Metrics.Counter("sim.recoveries")
+	sprinterHist := cfg.Metrics.Histogram("sim.sprinters_per_epoch",
+		telemetry.LinearBuckets(0, float64(cfg.Game.N)/10, 11))
+	tracing := cfg.Tracer.Enabled()
+	var classSprints []int // per-epoch sprint decisions by group, for the tracer
+	if tracing {
+		classSprints = make([]int, len(cfg.Groups))
+	}
+
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		// Phase 1: utilities and sprint decisions.
 		nS := 0
 		nRecover := 0
+		if tracing {
+			for gi := range classSprints {
+				classSprints[gi] = 0
+			}
+		}
 		for i := range agents {
 			a := &agents[i]
 			utilities[i] = a.trace.Next()
@@ -279,6 +306,9 @@ func Run(cfg Config, pol policy.Policy) (*Result, error) {
 				}) {
 					sprinting[i] = true
 					nS++
+					if tracing {
+						classSprints[groupIdx[a.class]]++
+					}
 				}
 			case Recovery:
 				nRecover++
@@ -290,7 +320,10 @@ func Run(cfg Config, pol policy.Policy) (*Result, error) {
 		tripped := rackRNG.Bool(ptrip)
 		if tripped {
 			res.Trips++
+			tripCounter.Inc()
 		}
+		epochCounter.Inc()
+		sprinterHist.Observe(float64(nS))
 		if cfg.RecordSeries {
 			res.SprintersPerEpoch[epoch] = nS
 			res.RecoveringPerEpoch[epoch] = nRecover
@@ -303,6 +336,36 @@ func Run(cfg Config, pol policy.Policy) (*Result, error) {
 				depth = float64(nS) / nMin
 			}
 			recoveryExit = (1 - cfg.Game.Pr) / depth
+		}
+		if tracing {
+			byClass := make(map[string]int, len(cfg.Groups))
+			for gi, g := range cfg.Groups {
+				byClass[g.Class] = classSprints[gi]
+			}
+			cfg.Tracer.Emit("sim.epoch", telemetry.Fields{
+				"epoch":      epoch,
+				"sprinters":  nS,
+				"recovering": nRecover,
+				"tripped":    tripped,
+				"by_class":   byClass,
+			})
+			if tripped {
+				cfg.Tracer.Emit("sim.trip", telemetry.Fields{
+					"epoch":         epoch,
+					"sprinters":     nS,
+					"ptrip":         ptrip,
+					"recovery_exit": recoveryExit,
+				})
+			}
+			if recoveryEnds {
+				cfg.Tracer.Emit("sim.recovery", telemetry.Fields{
+					"epoch":      epoch,
+					"recovering": nRecover,
+				})
+			}
+		}
+		if recoveryEnds {
+			recoveryCounter.Inc()
 		}
 
 		// Phase 3: task accounting and state transitions.
@@ -401,6 +464,15 @@ func Run(cfg Config, pol policy.Policy) (*Result, error) {
 			res.AgentRates[id] = u / float64(cfg.Epochs)
 		}
 		res.AgentSprints = agentSprints
+	}
+	cfg.Metrics.Gauge("sim.task_rate").Set(res.TaskRate)
+	if tracing {
+		cfg.Tracer.Emit("sim.done", telemetry.Fields{
+			"policy":    res.Policy,
+			"epochs":    res.Epochs,
+			"task_rate": res.TaskRate,
+			"trips":     res.Trips,
+		})
 	}
 	return res, nil
 }

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"sprintgame/internal/core"
+	"sprintgame/internal/policy"
+	"sprintgame/internal/telemetry"
+	"sprintgame/internal/workload"
+)
+
+func telemetryConfig(t *testing.T, epochs int) Config {
+	t.Helper()
+	bench, err := workload.ByName("decision")
+	if err != nil {
+		t.Fatal(err)
+	}
+	game := core.DefaultConfig()
+	return Config{
+		Epochs:       epochs,
+		Seed:         7,
+		Game:         game,
+		Groups:       []Group{{Class: "decision", Count: game.N, Bench: bench}},
+		RecordSeries: true,
+	}
+}
+
+// TestTraceMatchesSeries is the acceptance check of the telemetry layer:
+// the JSONL trace's per-epoch sprinter counts must agree exactly with
+// the Result's recorded series, and the per-class aggregation must sum
+// to the rack total.
+func TestTraceMatchesSeries(t *testing.T) {
+	cfg := telemetryConfig(t, 50)
+	cfg.Metrics = telemetry.NewRegistry()
+	var buf bytes.Buffer
+	cfg.Tracer = telemetry.NewTracer(&buf)
+
+	res, err := Run(cfg, policy.NewGreedy(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Tracer.Err(); err != nil {
+		t.Fatalf("tracer error: %v", err)
+	}
+
+	type epochEvent struct {
+		Event      string         `json:"event"`
+		Epoch      int            `json:"epoch"`
+		Sprinters  int            `json:"sprinters"`
+		Recovering int            `json:"recovering"`
+		Tripped    bool           `json:"tripped"`
+		ByClass    map[string]int `json:"by_class"`
+	}
+	var epochs []epochEvent
+	trips, recoveries, dones := 0, 0, 0
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var e epochEvent
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad trace line %q: %v", sc.Text(), err)
+		}
+		switch e.Event {
+		case "sim.epoch":
+			epochs = append(epochs, e)
+		case "sim.trip":
+			trips++
+		case "sim.recovery":
+			recoveries++
+		case "sim.done":
+			dones++
+		}
+	}
+	if len(epochs) != cfg.Epochs {
+		t.Fatalf("%d sim.epoch events, want %d", len(epochs), cfg.Epochs)
+	}
+	if dones != 1 {
+		t.Errorf("%d sim.done events", dones)
+	}
+	if trips != res.Trips {
+		t.Errorf("%d sim.trip events, result reports %d trips", trips, res.Trips)
+	}
+	for i, e := range epochs {
+		if e.Epoch != i {
+			t.Fatalf("epoch event %d reports epoch %d", i, e.Epoch)
+		}
+		if e.Sprinters != res.SprintersPerEpoch[i] {
+			t.Errorf("epoch %d: trace sprinters %d != series %d", i, e.Sprinters, res.SprintersPerEpoch[i])
+		}
+		if e.Recovering != res.RecoveringPerEpoch[i] {
+			t.Errorf("epoch %d: trace recovering %d != series %d", i, e.Recovering, res.RecoveringPerEpoch[i])
+		}
+		sum := 0
+		for _, n := range e.ByClass {
+			sum += n
+		}
+		if sum != e.Sprinters {
+			t.Errorf("epoch %d: by_class sums to %d, sprinters %d", i, sum, e.Sprinters)
+		}
+	}
+}
+
+func TestRunMetrics(t *testing.T) {
+	cfg := telemetryConfig(t, 40)
+	reg := telemetry.NewRegistry()
+	cfg.Metrics = reg
+
+	res, err := Run(cfg, policy.NewGreedy(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("sim.epochs").Value(); got != int64(cfg.Epochs) {
+		t.Errorf("sim.epochs = %d, want %d", got, cfg.Epochs)
+	}
+	if got := reg.Counter("power.trips").Value(); got != int64(res.Trips) {
+		t.Errorf("power.trips = %d, result has %d", got, res.Trips)
+	}
+	h := reg.Histogram("sim.sprinters_per_epoch", nil).Snapshot()
+	if h.Count != int64(cfg.Epochs) {
+		t.Errorf("sprinter histogram count = %d", h.Count)
+	}
+	wantSum := 0
+	for _, n := range res.SprintersPerEpoch {
+		wantSum += n
+	}
+	if int(h.Sum) != wantSum {
+		t.Errorf("sprinter histogram sum = %v, series sums to %d", h.Sum, wantSum)
+	}
+	if g := reg.Gauge("sim.task_rate").Value(); g != res.TaskRate {
+		t.Errorf("sim.task_rate = %v, result %v", g, res.TaskRate)
+	}
+}
+
+// TestTelemetryDoesNotPerturbSimulation guards determinism: attaching
+// sinks must not change a seeded run's outcome.
+func TestTelemetryDoesNotPerturbSimulation(t *testing.T) {
+	plain, err := Run(telemetryConfig(t, 60), policy.NewGreedy(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := telemetryConfig(t, 60)
+	cfg.Metrics = telemetry.NewRegistry()
+	var buf bytes.Buffer
+	cfg.Tracer = telemetry.NewTracer(&buf)
+	traced, err := Run(cfg, policy.NewGreedy(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TaskRate != traced.TaskRate || plain.Trips != traced.Trips {
+		t.Errorf("telemetry changed the run: %+v vs %+v", plain, traced)
+	}
+	for i := range plain.SprintersPerEpoch {
+		if plain.SprintersPerEpoch[i] != traced.SprintersPerEpoch[i] {
+			t.Fatalf("epoch %d sprinters diverge", i)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Handler returns an HTTP handler exposing the registry and the Go
+// runtime's standard debug surfaces:
+//
+//	/metrics          registry snapshot as JSON
+//	/debug/vars       expvar (memstats, cmdline)
+//	/debug/pprof/     pprof index, plus profile/heap/goroutine/...
+//	/                 plain-text index of the above
+//
+// reg may be nil; /metrics then serves an empty snapshot.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "sprintgame debug endpoint")
+		fmt.Fprintln(w, "  /metrics        metrics registry (JSON)")
+		fmt.Fprintln(w, "  /debug/vars     expvar")
+		fmt.Fprintln(w, "  /debug/pprof/   pprof profiles")
+	})
+	return mux
+}
+
+// DebugServer is a running debug HTTP endpoint.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+}
+
+// ServeDebug mounts Handler(reg) on an HTTP server listening at addr
+// (e.g. "127.0.0.1:6060"; use port 0 for an ephemeral port) and serves
+// it on a background goroutine until Close.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &DebugServer{
+		ln:   ln,
+		srv:  &http.Server{Handler: Handler(reg)},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(d.done)
+		_ = d.srv.Serve(ln)
+	}()
+	return d, nil
+}
+
+// Addr returns the endpoint's listen address.
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// URL returns the endpoint's base URL.
+func (d *DebugServer) URL() string { return "http://" + d.Addr() }
+
+// Close stops the endpoint.
+func (d *DebugServer) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.mu.Unlock()
+	err := d.srv.Close()
+	<-d.done
+	return err
+}

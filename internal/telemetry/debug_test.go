@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerServesMetricsJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sim.epochs").Add(100)
+	reg.Histogram("sim.sprinters_per_epoch", LinearBuckets(0, 100, 10)).Observe(250)
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var s Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["sim.epochs"] != 100 {
+		t.Errorf("counters = %v", s.Counters)
+	}
+	if s.Histograms["sim.sprinters_per_epoch"].Count != 1 {
+		t.Errorf("histograms = %v", s.Histograms)
+	}
+}
+
+func TestHandlerServesDebugSurfaces(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil))
+	defer srv.Close()
+	for path, want := range map[string]string{
+		"/":                      "sprintgame debug endpoint",
+		"/debug/vars":            "memstats",
+		"/debug/pprof/":          "goroutine",
+		"/debug/pprof/goroutine": "goroutine",
+	} {
+		u := srv.URL + path
+		if path == "/debug/pprof/goroutine" {
+			u += "?debug=1"
+		}
+		resp, err := http.Get(u)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), want) {
+			t.Errorf("%s: body does not mention %q", path, want)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path: status %d", resp.StatusCode)
+	}
+}
+
+func TestServeDebugLifecycle(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("g").Set(1)
+	d, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	resp, err := http.Get(d.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Errorf("second close should be a no-op, got %v", err)
+	}
+	if _, err := http.Get(d.URL() + "/metrics"); err == nil {
+		t.Error("endpoint should be unreachable after Close")
+	}
+}

@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryIsDisabledSink(t *testing.T) {
+	var r *Registry
+	// Every operation on a nil registry and its nil instruments must
+	// no-op without panicking.
+	r.Counter("a").Inc()
+	r.Counter("a").Add(5)
+	r.Gauge("b").Set(1.5)
+	r.Histogram("c", LinearBuckets(0, 1, 4)).Observe(2)
+	if got := r.Counter("a").Value(); got != 0 {
+		t.Errorf("nil counter value = %d", got)
+	}
+	if got := r.Gauge("b").Value(); got != 0 {
+		t.Errorf("nil gauge value = %v", got)
+	}
+	if got := r.Histogram("c", nil).Count(); got != 0 {
+		t.Errorf("nil histogram count = %d", got)
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Errorf("nil registry snapshot not empty: %+v", s)
+	}
+	if r.String() != "telemetry: disabled" {
+		t.Errorf("nil registry String = %q", r.String())
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("sim.epochs")
+	c.Inc()
+	c.Add(9)
+	c.Add(-5) // negative deltas ignored: counters are monotone
+	if c.Value() != 10 {
+		t.Errorf("counter = %d, want 10", c.Value())
+	}
+	if r.Counter("sim.epochs") != c {
+		t.Error("same name should return the same counter")
+	}
+	g := r.Gauge("solver.residual")
+	g.Set(0.25)
+	g.Set(1e-9)
+	if g.Value() != 1e-9 {
+		t.Errorf("gauge = %v", g.Value())
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Sum != 106 {
+		t.Errorf("sum = %v", s.Sum)
+	}
+	if s.Min != 0.5 || s.Max != 100 {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	wantCounts := []int64{2, 1, 1, 1} // <=1, <=2, <=4, overflow
+	if len(s.Buckets) != len(wantCounts) {
+		t.Fatalf("got %d buckets", len(s.Buckets))
+	}
+	for i, want := range wantCounts {
+		if s.Buckets[i].Count != want {
+			t.Errorf("bucket %d count = %d, want %d", i, s.Buckets[i].Count, want)
+		}
+	}
+	if !math.IsInf(s.Buckets[3].Le, 1) {
+		t.Errorf("overflow bucket Le = %v", s.Buckets[3].Le)
+	}
+}
+
+func TestHistogramNoBoundsTracksMoments(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x", nil)
+	h.Observe(2)
+	h.Observe(4)
+	s := h.Snapshot()
+	if s.Count != 2 || s.Mean != 3 {
+		t.Errorf("snapshot = %+v", s)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(0, 100, 3)
+	if len(lin) != 3 || lin[0] != 0 || lin[2] != 200 {
+		t.Errorf("linear buckets = %v", lin)
+	}
+	exp := ExponentialBuckets(0.001, 10, 3)
+	if len(exp) != 3 || exp[2] != 0.1 {
+		t.Errorf("exponential buckets = %v", exp)
+	}
+	if LinearBuckets(0, 0, 3) != nil || ExponentialBuckets(0, 2, 3) != nil {
+		t.Error("invalid bucket specs should return nil")
+	}
+}
+
+func TestSnapshotJSONRoundTrips(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("power.trips").Add(3)
+	r.Gauge("power.ptrip").Set(0.125)
+	r.Histogram("coord.request_latency_s", ExponentialBuckets(0.001, 10, 4)).Observe(0.02)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if s.Counters["power.trips"] != 3 {
+		t.Errorf("counters = %v", s.Counters)
+	}
+	if s.Gauges["power.ptrip"] != 0.125 {
+		t.Errorf("gauges = %v", s.Gauges)
+	}
+	if h := s.Histograms["coord.request_latency_s"]; h.Count != 1 {
+		t.Errorf("histogram = %+v", h)
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	// Exercised under -race by scripts/check.sh: hammer one registry from
+	// many goroutines while snapshotting.
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Set(float64(j))
+				r.Histogram("h", LinearBuckets(0, 100, 10)).Observe(float64(j))
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h", nil).Count(); got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}

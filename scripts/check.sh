@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Repository check: vet everything, then run the full test suite under
+# the race detector. The race pass matters most for internal/telemetry
+# (shared registry/tracer) and internal/coord (instrumented TCP server).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "ok"
