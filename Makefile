@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check bench
+.PHONY: build test check bench bench-cluster
 
 build:
 	$(GO) build ./...
@@ -10,9 +10,13 @@ build:
 test:
 	$(GO) test ./...
 
-# vet + build + race-detector test run (see scripts/check.sh).
+# gofmt + vet + build + race-detector test run (see scripts/check.sh).
 check:
 	sh scripts/check.sh
 
 bench:
 	$(GO) test -bench . -benchtime 1x
+
+# Cluster + solve-cache benchmarks, recorded as BENCH_cluster.json.
+bench-cluster:
+	sh scripts/bench.sh

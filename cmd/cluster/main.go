@@ -1,0 +1,194 @@
+// Command cluster simulates a datacenter of sprinting racks: R
+// independent rack games run on a worker pool, with cluster-level
+// aggregation (total throughput, trips per rack-epoch, cross-rack
+// sprinter spread) and a shared equilibrium solve cache so racks with
+// the same workload mix solve the game once.
+//
+// Usage:
+//
+//	cluster -racks 16 -chips 256 -epochs 2000 -policy equilibrium
+//	cluster -racks 8 -app decision,pagerank -rotate -trace cluster.jsonl
+//	cluster -racks 32 -workers 4 -metrics metrics.json -debug-addr 127.0.0.1:6060
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"sprintgame/internal/cluster"
+	"sprintgame/internal/core"
+	"sprintgame/internal/power"
+	"sprintgame/internal/sim"
+	"sprintgame/internal/telemetry"
+	"sprintgame/internal/workload"
+)
+
+func main() {
+	var (
+		racks     = flag.Int("racks", 8, "number of racks in the cluster")
+		chips     = flag.Int("chips", 256, "chips (agents) per rack")
+		epochs    = flag.Int("epochs", 1000, "epochs to simulate per rack")
+		workers   = flag.Int("workers", 0, "worker goroutines (0 = NumCPU); results are identical for any value")
+		apps      = flag.String("app", "decision", "comma-separated benchmark names for each rack's mix")
+		rotate    = flag.Bool("rotate", false, "rotate the app mix per rack for a heterogeneous cluster")
+		polName   = flag.String("policy", "equilibrium", "greedy | backoff | equilibrium | never")
+		seed      = flag.Uint64("seed", 1, "cluster base seed (per-rack seeds are derived)")
+		cacheSize = flag.Int("cache-size", 0, "equilibrium solve-cache capacity (0 = default)")
+		traceOut  = flag.String("trace", "", "write cluster.epoch/cluster.rack JSONL events to this file ('-' for stdout)")
+		metricsTo = flag.String("metrics", "", "write the final metrics registry as JSON to this file ('-' for stdout)")
+		debugAddr = flag.String("debug-addr", "", "serve the debug endpoint (/metrics, /debug/pprof, /debug/vars) on this address while running")
+	)
+	flag.Parse()
+
+	metrics := telemetry.NewRegistry()
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		f, closeTrace, err := openSink(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		bw := bufio.NewWriter(f)
+		tracer = telemetry.NewTracer(bw)
+		defer func() {
+			if err := tracer.Err(); err != nil {
+				fatal(fmt.Errorf("trace %s: %w", *traceOut, err))
+			}
+			if err := bw.Flush(); err != nil {
+				fatal(fmt.Errorf("trace %s: %w", *traceOut, err))
+			}
+			if err := closeTrace(); err != nil {
+				fatal(fmt.Errorf("trace %s: %w", *traceOut, err))
+			}
+		}()
+	}
+	if *debugAddr != "" {
+		dbg, err := telemetry.ServeDebug(*debugAddr, metrics)
+		if err != nil {
+			fatal(err)
+		}
+		defer dbg.Close()
+		fmt.Printf("debug endpoint: %s (metrics at /metrics, profiles at /debug/pprof/)\n", dbg.URL())
+	}
+
+	// Scale the paper's rack (N=1000, Nmin=250, Nmax=750) to -chips.
+	game := core.DefaultConfig()
+	if *chips != game.N {
+		nmin, nmax := game.Trip.Bounds()
+		f := float64(*chips) / float64(game.N)
+		game.Trip = power.LinearTripModel{NMin: nmin * f, NMax: nmax * f}
+		game.N = *chips
+	}
+
+	names := strings.Split(*apps, ",")
+	for i, n := range names {
+		names[i] = strings.TrimSpace(n)
+	}
+	specs := make([]cluster.RackSpec, *racks)
+	for r := range specs {
+		mix := names
+		if *rotate && len(names) > 1 {
+			k := r % len(names)
+			mix = append(append([]string{}, names[k:]...), names[:k]...)
+		}
+		groups, err := buildGroups(mix, game.N)
+		if err != nil {
+			fatal(err)
+		}
+		specs[r] = cluster.RackSpec{Groups: groups}
+	}
+
+	cache := core.NewSolveCache(*cacheSize, metrics)
+	factory, err := cluster.FactoryByName(*polName, cache)
+	if err != nil {
+		fatal(err)
+	}
+
+	res, err := cluster.Run(cluster.Config{
+		Racks:    specs,
+		Epochs:   *epochs,
+		BaseSeed: *seed,
+		Game:     game,
+		Workers:  *workers,
+		Policy:   factory,
+		Metrics:  metrics,
+		Tracer:   tracer,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("cluster: %d racks x %d chips x %d epochs, policy=%s, workers=%d (NumCPU=%d)\n",
+		len(res.Racks), game.N, res.Epochs, *polName, res.Workers, runtime.NumCPU())
+	fmt.Printf("task rate: %.3f units/agent-epoch (normal mode = 1.0), total %.0f units\n",
+		res.TaskRate, res.TotalUnits)
+	fmt.Printf("power emergencies: %d (%.4f per rack-epoch)\n", res.Trips, res.TripsPerRackEpoch)
+	fmt.Printf("time in states: sprinting=%.1f%% active=%.1f%% cooling=%.1f%% recovery=%.1f%%\n",
+		100*res.Shares.Sprinting, 100*res.Shares.ActiveIdle,
+		100*res.Shares.Cooling, 100*res.Shares.Recovery)
+	fmt.Printf("sprinters/rack-epoch: mean=%.1f stddev=%.1f min=%.1f max=%.1f\n",
+		res.Sprinters.Mean, res.Sprinters.StdDev, res.Sprinters.Min, res.Sprinters.Max)
+	for i, r := range res.Racks {
+		fmt.Printf("  %-8s seed=%-20d rate=%.3f trips=%d\n", r.Name, r.Seed, r.Sim.TaskRate, r.Sim.Trips)
+		if i >= 15 && len(res.Racks) > 17 {
+			fmt.Printf("  ... %d more racks\n", len(res.Racks)-i-1)
+			break
+		}
+	}
+	if *polName == "equilibrium" {
+		st := cache.Stats()
+		fmt.Printf("solve cache: %d solves, %d hits, %d coalesced (hit rate %.0f%%)\n",
+			st.Misses, st.Hits, st.Coalesced, 100*st.HitRate())
+	}
+
+	if *metricsTo != "" {
+		w, closeMetrics, err := openSink(*metricsTo)
+		if err != nil {
+			fatal(err)
+		}
+		if err := metrics.WriteJSON(w); err != nil {
+			fatal(fmt.Errorf("metrics %s: %w", *metricsTo, err))
+		}
+		if err := closeMetrics(); err != nil {
+			fatal(fmt.Errorf("metrics %s: %w", *metricsTo, err))
+		}
+	}
+}
+
+// buildGroups splits n chips across the named benchmarks, mirroring
+// cmd/sprintgame's allocation.
+func buildGroups(names []string, n int) ([]sim.Group, error) {
+	groups := make([]sim.Group, 0, len(names))
+	remaining := n
+	for i, name := range names {
+		b, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		count := remaining / (len(names) - i)
+		remaining -= count
+		groups = append(groups, sim.Group{Class: b.Name, Count: count, Bench: b})
+	}
+	return groups, nil
+}
+
+// openSink opens path for writing; "-" selects stdout (whose close is a
+// no-op so the caller's deferred checks stay uniform).
+func openSink(path string) (w *os.File, closeFn func() error, err error) {
+	if path == "-" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cluster:", err)
+	os.Exit(1)
+}

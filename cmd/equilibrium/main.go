@@ -31,6 +31,7 @@ func main() {
 		serve       = flag.String("serve", "", "serve the coordinator protocol on this TCP address instead")
 		bins        = flag.Int("bins", sim.DensityBins, "utility density bins")
 		connTimeout = flag.Duration("conn-timeout", coord.DefaultConnTimeout, "per-connection read/write deadline in serve mode (negative disables)")
+		cacheSize   = flag.Int("cache-size", core.DefaultSolveCacheCapacity, "equilibrium solve-cache capacity in serve mode (0 disables caching)")
 		traceOut    = flag.String("trace", "", "write a JSONL telemetry trace (solver/coordinator events) to this file ('-' for stdout)")
 		debugAddr   = flag.String("debug-addr", "", "serve the debug endpoint (/metrics, /debug/pprof, /debug/vars) on this address")
 	)
@@ -87,11 +88,19 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		// The solve cache memoizes equilibria between profile changes and
+		// coalesces concurrent "strategies" requests into one solve; its
+		// hit/miss counters appear under solvecache.* on /metrics.
+		var cache *core.SolveCache
+		if *cacheSize > 0 {
+			cache = core.NewSolveCache(*cacheSize, metrics)
+		}
 		srv, err := coord.ServeWith(c, coord.ServeOptions{
 			Addr:        *serve,
 			ConnTimeout: *connTimeout,
 			Metrics:     metrics,
 			Tracer:      tracer,
+			Cache:       cache,
 		})
 		if err != nil {
 			fatal(err)

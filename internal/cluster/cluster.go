@@ -1,0 +1,369 @@
+// Package cluster scales the single-rack simulator of package sim to a
+// datacenter: R racks, each an independent sprinting game with its own
+// breaker, UPS state, workload mix, and RNG stream, driven concurrently
+// by a worker pool and aggregated into cluster-level statistics.
+//
+// The paper evaluates one rack of N sprinting chips, but its mean-field
+// framing explicitly targets datacenter scale (§4): racks do not share
+// breakers, so a datacenter is a collection of independent rack games
+// whose aggregate behaviour — total task throughput, trips per
+// rack-epoch, the cross-rack distribution of sprinters — is what a
+// capacity planner cares about.
+//
+// # Determinism under parallelism
+//
+// A cluster run is byte-identical regardless of Config.Workers:
+//
+//   - each rack owns a deterministic RNG stream seeded from its
+//     RackSpec.Seed (or derived from Config.BaseSeed and the rack index),
+//     so no rack's randomness depends on scheduling;
+//   - policies are constructed per rack by the PolicyFactory, so
+//     stateful policies (e.g. exponential backoff) never share state
+//     across racks;
+//   - racks run with nil per-rack telemetry sinks; cluster metrics and
+//     cluster.epoch / cluster.rack / cluster.done trace events are
+//     emitted after all racks complete, in rack-index order.
+//
+// Consequently rack i of a cluster run reproduces exactly the results
+// of a standalone sim.Run with the same sim.Config — verified by
+// TestClusterMatchesStandaloneRacks.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"sprintgame/internal/core"
+	"sprintgame/internal/policy"
+	"sprintgame/internal/sim"
+	"sprintgame/internal/stats"
+	"sprintgame/internal/telemetry"
+)
+
+// RackSpec describes one rack of the cluster.
+type RackSpec struct {
+	// Name labels the rack in results and trace events; defaults to
+	// "rack<i>".
+	Name string
+	// Seed seeds the rack's RNG stream. Zero derives a seed from the
+	// cluster's BaseSeed and the rack index.
+	Seed uint64
+	// Groups is the rack's workload mix; counts must sum to the rack's
+	// game N.
+	Groups []sim.Group
+	// Game overrides the cluster-wide game parameters (breaker, UPS,
+	// cooling) for this rack. Nil uses Config.Game.
+	Game *core.Config
+}
+
+// PolicyFactory builds the sprinting policy for one rack. It is called
+// from worker goroutines, potentially concurrently across racks, so it
+// must be safe for concurrent use; the returned policy is used by a
+// single rack only. simCfg is the rack's fully resolved simulation
+// configuration (seed, game, groups).
+type PolicyFactory func(rack int, spec RackSpec, simCfg sim.Config) (policy.Policy, error)
+
+// Config configures a cluster run.
+type Config struct {
+	// Racks lists the cluster's racks.
+	Racks []RackSpec
+	// Epochs is the number of epochs each rack simulates.
+	Epochs int
+	// BaseSeed seeds racks whose RackSpec.Seed is zero, mixed with the
+	// rack index so streams are independent.
+	BaseSeed uint64
+	// Game is the default per-rack game configuration (Table 2).
+	Game core.Config
+	// Workers bounds the worker pool; <= 0 selects runtime.NumCPU().
+	// Results are identical for every value.
+	Workers int
+	// Policy builds each rack's sprinting policy.
+	Policy PolicyFactory
+	// RecordSeries keeps per-epoch series on each rack result. It is
+	// forced on when Tracer is set (cluster.epoch events are built from
+	// the series).
+	RecordSeries bool
+	// Metrics, when non-nil, receives cluster metrics (cluster.racks,
+	// cluster.rack_epochs, cluster.trips, cluster.task_rate, ...).
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, receives per-epoch cluster.epoch events,
+	// per-rack cluster.rack events, and a final cluster.done event,
+	// emitted deterministically after the run.
+	Tracer *telemetry.Tracer
+}
+
+// Validate checks the cluster configuration (policy presence and rack
+// shapes; per-rack game validation happens in sim.Run).
+func (c Config) Validate() error {
+	if len(c.Racks) == 0 {
+		return errors.New("cluster: need at least one rack")
+	}
+	if c.Epochs <= 0 {
+		return errors.New("cluster: need at least one epoch")
+	}
+	if c.Policy == nil {
+		return errors.New("cluster: nil policy factory")
+	}
+	for i, spec := range c.Racks {
+		if len(spec.Groups) == 0 {
+			return fmt.Errorf("cluster: rack %d has no agent groups", i)
+		}
+	}
+	return nil
+}
+
+// RackResult is one rack's outcome within a cluster run.
+type RackResult struct {
+	// Name is the rack's label.
+	Name string
+	// Seed is the seed the rack actually ran with.
+	Seed uint64
+	// Agents is the rack's chip count.
+	Agents int
+	// Sim is the rack's full simulation result.
+	Sim *sim.Result
+}
+
+// SprinterDist summarizes the cross-rack distribution of mean
+// sprinters per epoch: how evenly sprinting load spreads over the
+// datacenter.
+type SprinterDist struct {
+	Min, Max, Mean, StdDev float64
+}
+
+// Result is a completed cluster run.
+type Result struct {
+	// Racks holds per-rack results in input order.
+	Racks []RackResult
+	// Epochs is the per-rack epoch count.
+	Epochs int
+	// Agents is the total chip count across racks.
+	Agents int
+	// Workers is the worker-pool size the run used.
+	Workers int
+	// TaskRate is cluster-wide task units per agent-epoch.
+	TaskRate float64
+	// TotalUnits is the cluster's total task units.
+	TotalUnits float64
+	// Trips is the total number of power emergencies across racks.
+	Trips int
+	// TripsPerRackEpoch is Trips / (racks * epochs).
+	TripsPerRackEpoch float64
+	// Shares is the cluster-wide time-in-state breakdown, weighted by
+	// rack agent counts.
+	Shares sim.StateShares
+	// Sprinters is the cross-rack distribution of per-rack mean
+	// sprinters per epoch.
+	Sprinters SprinterDist
+}
+
+// mixSeed derives rack i's seed from the cluster base seed with a
+// SplitMix64 finalizer, so per-rack streams are decorrelated even for
+// adjacent base seeds and rack indices.
+func mixSeed(base uint64, rack int) uint64 {
+	z := base + 0x9e3779b97f4a7c15*(uint64(rack)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// rackConfig resolves rack i's simulation configuration. Per-rack
+// telemetry sinks stay nil: sharing the cluster's sinks across
+// concurrent racks would interleave nondeterministically and break the
+// determinism-under-parallelism contract, so all cluster telemetry is
+// derived from rack results after the run.
+func (c Config) rackConfig(i int) sim.Config {
+	spec := c.Racks[i]
+	game := c.Game
+	if spec.Game != nil {
+		game = *spec.Game
+	}
+	game.Metrics = nil
+	game.Tracer = nil
+	seed := spec.Seed
+	if seed == 0 {
+		seed = mixSeed(c.BaseSeed, i)
+	}
+	return sim.Config{
+		Epochs:       c.Epochs,
+		Seed:         seed,
+		Game:         game,
+		Groups:       spec.Groups,
+		RecordSeries: c.RecordSeries || c.Tracer.Enabled(),
+	}
+}
+
+// Run simulates every rack and aggregates the cluster outcome. Racks
+// are distributed over a pool of Workers goroutines; the result (and
+// any trace) is identical for every pool size.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(cfg.Racks) {
+		workers = len(cfg.Racks)
+	}
+
+	results := make([]*sim.Result, len(cfg.Racks))
+	seeds := make([]uint64, len(cfg.Racks))
+	errs := make([]error, len(cfg.Racks))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				simCfg := cfg.rackConfig(i)
+				seeds[i] = simCfg.Seed
+				pol, err := cfg.Policy(i, cfg.Racks[i], simCfg)
+				if err != nil {
+					errs[i] = fmt.Errorf("cluster: rack %d policy: %w", i, err)
+					continue
+				}
+				res, err := sim.Run(simCfg, pol)
+				if err != nil {
+					errs[i] = fmt.Errorf("cluster: rack %d: %w", i, err)
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+	for i := range cfg.Racks {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	return aggregate(cfg, workers, seeds, results), nil
+}
+
+// aggregate folds rack results into the cluster result and emits
+// cluster telemetry, all in deterministic rack-index order.
+func aggregate(cfg Config, workers int, seeds []uint64, results []*sim.Result) *Result {
+	out := &Result{
+		Racks:   make([]RackResult, len(results)),
+		Epochs:  cfg.Epochs,
+		Workers: workers,
+	}
+	epochs := float64(cfg.Epochs)
+	var unitWeighted sim.StateShares
+	meanSprinters := make([]float64, len(results))
+	for i, res := range results {
+		agents := 0
+		for _, g := range cfg.Racks[i].Groups {
+			agents += g.Count
+		}
+		name := cfg.Racks[i].Name
+		if name == "" {
+			name = fmt.Sprintf("rack%d", i)
+		}
+		out.Racks[i] = RackResult{Name: name, Seed: seeds[i], Agents: agents, Sim: res}
+		out.Agents += agents
+		out.Trips += res.Trips
+		agentEpochs := float64(agents) * epochs
+		out.TotalUnits += res.TaskRate * agentEpochs
+		unitWeighted.Sprinting += res.Shares.Sprinting * agentEpochs
+		unitWeighted.ActiveIdle += res.Shares.ActiveIdle * agentEpochs
+		unitWeighted.Cooling += res.Shares.Cooling * agentEpochs
+		unitWeighted.Recovery += res.Shares.Recovery * agentEpochs
+		// Sprinting share is the fraction of agent-epochs spent
+		// sprinting, so share * N is the rack's mean sprinters per epoch.
+		meanSprinters[i] = res.Shares.Sprinting * float64(agents)
+	}
+	allAgentEpochs := float64(out.Agents) * epochs
+	out.TaskRate = out.TotalUnits / allAgentEpochs
+	out.TripsPerRackEpoch = float64(out.Trips) / (float64(len(results)) * epochs)
+	out.Shares = sim.StateShares{
+		Sprinting:  unitWeighted.Sprinting / allAgentEpochs,
+		ActiveIdle: unitWeighted.ActiveIdle / allAgentEpochs,
+		Cooling:    unitWeighted.Cooling / allAgentEpochs,
+		Recovery:   unitWeighted.Recovery / allAgentEpochs,
+	}
+	out.Sprinters = SprinterDist{
+		Min:    stats.Min(meanSprinters),
+		Max:    stats.Max(meanSprinters),
+		Mean:   stats.Mean(meanSprinters),
+		StdDev: stats.StdDev(meanSprinters),
+	}
+
+	emitMetrics(cfg, out)
+	emitTrace(cfg, out)
+	return out
+}
+
+// rackRateBuckets spans degraded racks (rate < 1) to strong sprinting
+// gains.
+var rackRateBuckets = telemetry.LinearBuckets(0.5, 0.5, 12)
+
+func emitMetrics(cfg Config, out *Result) {
+	m := cfg.Metrics
+	if m == nil {
+		return
+	}
+	m.Counter("cluster.runs").Inc()
+	m.Counter("cluster.racks").Add(int64(len(out.Racks)))
+	m.Counter("cluster.rack_epochs").Add(int64(len(out.Racks) * out.Epochs))
+	m.Counter("cluster.trips").Add(int64(out.Trips))
+	m.Gauge("cluster.task_rate").Set(out.TaskRate)
+	m.Gauge("cluster.trips_per_rack_epoch").Set(out.TripsPerRackEpoch)
+	m.Gauge("cluster.sprinters_stddev").Set(out.Sprinters.StdDev)
+	rateHist := m.Histogram("cluster.rack_task_rate", rackRateBuckets)
+	tripHist := m.Histogram("cluster.rack_trips", nil)
+	for _, r := range out.Racks {
+		rateHist.Observe(r.Sim.TaskRate)
+		tripHist.Observe(float64(r.Sim.Trips))
+	}
+}
+
+func emitTrace(cfg Config, out *Result) {
+	t := cfg.Tracer
+	if !t.Enabled() {
+		return
+	}
+	for epoch := 0; epoch < out.Epochs; epoch++ {
+		sprinters, recovering := 0, 0
+		for _, r := range out.Racks {
+			sprinters += r.Sim.SprintersPerEpoch[epoch]
+			recovering += r.Sim.RecoveringPerEpoch[epoch]
+		}
+		t.Emit("cluster.epoch", telemetry.Fields{
+			"epoch":      epoch,
+			"sprinters":  sprinters,
+			"recovering": recovering,
+		})
+	}
+	for i, r := range out.Racks {
+		t.Emit("cluster.rack", telemetry.Fields{
+			"rack":      i,
+			"name":      r.Name,
+			"seed":      r.Seed,
+			"agents":    r.Agents,
+			"policy":    r.Sim.Policy,
+			"task_rate": r.Sim.TaskRate,
+			"trips":     r.Sim.Trips,
+		})
+	}
+	// The pool size is deliberately left out: the trace must be
+	// byte-identical for every Config.Workers value.
+	t.Emit("cluster.done", telemetry.Fields{
+		"racks":                len(out.Racks),
+		"epochs":               out.Epochs,
+		"agents":               out.Agents,
+		"task_rate":            out.TaskRate,
+		"trips":                out.Trips,
+		"trips_per_rack_epoch": out.TripsPerRackEpoch,
+	})
+}

@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"fmt"
+
+	"sprintgame/internal/core"
+	"sprintgame/internal/policy"
+	"sprintgame/internal/sim"
+)
+
+// GreedyFactory builds the greedy policy for every rack.
+func GreedyFactory() PolicyFactory {
+	return func(int, RackSpec, sim.Config) (policy.Policy, error) {
+		return policy.NewGreedy(0), nil
+	}
+}
+
+// NeverFactory builds the never-sprint baseline for every rack.
+func NeverFactory() PolicyFactory {
+	return func(int, RackSpec, sim.Config) (policy.Policy, error) {
+		return policy.Never{}, nil
+	}
+}
+
+// BackoffFactory builds a fresh exponential-backoff policy per rack,
+// seeded from the rack's own stream so backoff draws stay deterministic
+// under any worker count.
+func BackoffFactory() PolicyFactory {
+	return func(_ int, _ RackSpec, simCfg sim.Config) (policy.Policy, error) {
+		return policy.NewExponentialBackoff(simCfg.Seed ^ 0xb0ff0ff), nil
+	}
+}
+
+// EquilibriumFactory solves each rack's game (Algorithm 1) and assigns
+// the equilibrium-threshold policy. cache, when non-nil, memoizes
+// solutions across racks: a cluster where many racks share a workload
+// mix performs one solve per distinct mix instead of one per rack, and
+// concurrent workers hitting the same mix coalesce onto a single
+// in-flight solve.
+func EquilibriumFactory(cache *core.SolveCache) PolicyFactory {
+	return func(rack int, _ RackSpec, simCfg sim.Config) (policy.Policy, error) {
+		pol, _, err := sim.BuildEquilibriumPolicyCached(simCfg, cache)
+		if err != nil {
+			return nil, fmt.Errorf("equilibrium for rack %d: %w", rack, err)
+		}
+		return pol, nil
+	}
+}
+
+// FactoryByName resolves the policy names exposed by cmd/cluster.
+func FactoryByName(name string, cache *core.SolveCache) (PolicyFactory, error) {
+	switch name {
+	case "greedy":
+		return GreedyFactory(), nil
+	case "backoff":
+		return BackoffFactory(), nil
+	case "never":
+		return NeverFactory(), nil
+	case "equilibrium":
+		return EquilibriumFactory(cache), nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown policy %q", name)
+	}
+}

@@ -1,0 +1,198 @@
+package coord
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"sprintgame/internal/core"
+	"sprintgame/internal/telemetry"
+)
+
+// cachedCoordinator returns a coordinator with three registered agents
+// across two classes and an attached solve cache.
+func cachedCoordinator(t *testing.T, metrics *telemetry.Registry) (*Coordinator, *core.SolveCache) {
+	t.Helper()
+	cfg := gameConfig()
+	cfg.Metrics = metrics
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range []Profile{
+		profileFor(t, "a1", "decision", 11, 400),
+		profileFor(t, "a2", "decision", 12, 400),
+		profileFor(t, "a3", "pagerank", 13, 400),
+	} {
+		if err := c.Submit(p); err != nil {
+			t.Fatalf("profile %d: %v", i, err)
+		}
+	}
+	cache := core.NewSolveCache(8, metrics)
+	c.UseCache(cache)
+	return c, cache
+}
+
+func TestComputeStrategiesSingleflight(t *testing.T) {
+	metrics := telemetry.NewRegistry()
+	c, cache := cachedCoordinator(t, metrics)
+
+	const callers = 64
+	var wg sync.WaitGroup
+	var start sync.WaitGroup
+	start.Add(1)
+	strategies := make([]map[string]Strategy, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start.Wait()
+			strategies[i], _, errs[i] = c.ComputeStrategies()
+		}(i)
+	}
+	start.Done()
+	wg.Wait()
+
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if th, want := strategies[i]["decision"].Threshold, strategies[0]["decision"].Threshold; th != want {
+			t.Fatalf("caller %d got threshold %v, want %v", i, th, want)
+		}
+	}
+	// 64 concurrent identical requests must trigger exactly one solve:
+	// profile pooling is canonical (sorted agent order), so every caller
+	// hashes to the same cache key.
+	if runs := metrics.Counter("solver.runs").Value(); runs != 1 {
+		t.Errorf("solver.runs = %d, want exactly 1", runs)
+	}
+	st := cache.Stats()
+	if st.Misses != 1 || st.Hits+st.Coalesced != callers-1 {
+		t.Errorf("cache stats = %+v, want 1 miss and %d hits+coalesced", st, callers-1)
+	}
+}
+
+func TestCacheInvalidatedByProfileChange(t *testing.T) {
+	c, cache := cachedCoordinator(t, nil)
+	if _, _, err := c.ComputeStrategies(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.ComputeStrategies(); err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, want repeat request to hit", st)
+	}
+	// A new profile changes the pooled densities, so the next request
+	// must re-solve rather than serve the stale equilibrium.
+	if err := c.Submit(profileFor(t, "a4", "pagerank", 14, 400)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.ComputeStrategies(); err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Misses != 2 {
+		t.Fatalf("stats = %+v, want a fresh solve after a profile change", st)
+	}
+}
+
+func TestServeWithCacheCoalescesRequests(t *testing.T) {
+	metrics := telemetry.NewRegistry()
+	c, cache := cachedCoordinator(t, metrics)
+	srv, err := ServeWith(c, ServeOptions{Addr: "127.0.0.1:0", Cache: cache, Metrics: metrics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = NewClient(srv.Addr()).FetchStrategies()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	if runs := metrics.Counter("solver.runs").Value(); runs != 1 {
+		t.Errorf("solver.runs = %d, want 1 solve for %d concurrent TCP requests", runs, clients)
+	}
+	if st := cache.Stats(); st.Misses != 1 {
+		t.Errorf("cache stats = %+v, want 1 miss", st)
+	}
+}
+
+func TestClientRequestTimeout(t *testing.T) {
+	// A server that accepts connections but never responds: without a
+	// request deadline FetchStrategies would block forever.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				buf := make([]byte, 1024)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						return
+					}
+					select {
+					case <-done:
+						return
+					default: // swallow the request, never answer
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	client := NewClientWith(ln.Addr().String(), ClientOptions{RequestTimeout: 100 * time.Millisecond})
+	start := time.Now()
+	_, _, err = client.FetchStrategies()
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("expected a timeout error from an unresponsive server")
+	}
+	ne, ok := err.(net.Error)
+	if !ok || !ne.Timeout() {
+		t.Errorf("err = %v, want a net timeout", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("request took %v, deadline was 100ms", elapsed)
+	}
+}
+
+func TestClientTimeoutDefaultsAndDisable(t *testing.T) {
+	def := NewClient("127.0.0.1:1")
+	if def.dialTimeout != DefaultDialTimeout || def.reqTimeout != DefaultRequestTimeout {
+		t.Errorf("defaults = (%v, %v), want (%v, %v)",
+			def.dialTimeout, def.reqTimeout, DefaultDialTimeout, DefaultRequestTimeout)
+	}
+	off := NewClientWith("127.0.0.1:1", ClientOptions{DialTimeout: -1, RequestTimeout: -1})
+	if off.dialTimeout != 0 || off.reqTimeout != 0 {
+		t.Errorf("negative options should disable bounds, got (%v, %v)", off.dialTimeout, off.reqTimeout)
+	}
+	custom := NewClientWith("127.0.0.1:1", ClientOptions{DialTimeout: time.Second, RequestTimeout: time.Minute})
+	if custom.dialTimeout != time.Second || custom.reqTimeout != time.Minute {
+		t.Errorf("explicit options not honored: (%v, %v)", custom.dialTimeout, custom.reqTimeout)
+	}
+}

@@ -67,6 +67,10 @@ type Strategy struct {
 type Coordinator struct {
 	cfg core.Config
 
+	// cache, when non-nil, memoizes equilibrium solves and coalesces
+	// concurrent solves of the same game instance (see core.SolveCache).
+	cache *core.SolveCache
+
 	mu       sync.Mutex
 	profiles map[string]Profile // by agent id
 }
@@ -80,6 +84,16 @@ func NewCoordinator(cfg core.Config) (*Coordinator, error) {
 		return nil, err
 	}
 	return &Coordinator{cfg: cfg, profiles: make(map[string]Profile)}, nil
+}
+
+// UseCache attaches a solve cache: between profile changes, repeated or
+// concurrent ComputeStrategies calls reuse one memoized equilibrium and
+// trigger at most one core.FindEquilibrium per distinct workload mix.
+// A nil cache restores direct solving.
+func (c *Coordinator) UseCache(cache *core.SolveCache) {
+	c.mu.Lock()
+	c.cache = cache
+	c.mu.Unlock()
 }
 
 // Submit registers or replaces an agent's profile.
@@ -130,13 +144,23 @@ func poolAtoms(values, weights []float64) (*dist.Discrete, error) {
 // returns each class's assigned strategy.
 func (c *Coordinator) ComputeStrategies() (map[string]Strategy, *core.Equilibrium, error) {
 	c.mu.Lock()
+	cache := c.cache
 	type classAgg struct {
 		count   int
 		values  []float64
 		weights []float64
 	}
 	agg := make(map[string]*classAgg)
-	for _, p := range c.profiles {
+	// Pool profiles in sorted agent order: floating-point pooling is
+	// order-sensitive, and a canonical order keeps the pooled densities
+	// (and therefore the solve-cache key) stable across calls.
+	agents := make([]string, 0, len(c.profiles))
+	for id := range c.profiles {
+		agents = append(agents, id)
+	}
+	sort.Strings(agents)
+	for _, id := range agents {
+		p := c.profiles[id]
 		a := agg[p.Class]
 		if a == nil {
 			a = &classAgg{}
@@ -176,7 +200,7 @@ func (c *Coordinator) ComputeStrategies() (map[string]Strategy, *core.Equilibriu
 		classes = append(classes, core.AgentClass{Name: name, Count: a.count, Density: d})
 		cfg.N += a.count
 	}
-	eq, err := core.FindEquilibrium(classes, cfg)
+	eq, err := cache.FindEquilibrium(classes, cfg)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"sprintgame/internal/core"
 	"sprintgame/internal/telemetry"
 )
 
@@ -55,6 +56,13 @@ type ServeOptions struct {
 	Metrics *telemetry.Registry
 	// Tracer, when non-nil, receives per-request coord.request events.
 	Tracer *telemetry.Tracer
+	// Cache, when non-nil, is attached to the coordinator
+	// (Coordinator.UseCache): concurrent "strategies" requests for the
+	// same workload mix coalesce into a single equilibrium solve, and
+	// repeated requests between profile changes answer from memory. Its
+	// hit/miss counters land in Metrics when the cache was built with
+	// the same registry.
+	Cache *core.SolveCache
 }
 
 // Server exposes a Coordinator over TCP.
@@ -87,6 +95,9 @@ func ServeWith(coord *Coordinator, opts ServeOptions) (*Server, error) {
 		timeout = DefaultConnTimeout
 	case timeout < 0:
 		timeout = 0
+	}
+	if opts.Cache != nil {
+		coord.UseCache(opts.Cache)
 	}
 	ln, err := net.Listen("tcp", opts.Addr)
 	if err != nil {
@@ -172,7 +183,7 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		latency := time.Since(start).Seconds()
 		s.metrics.Counter("coord.requests").Inc()
-		s.metrics.Counter("coord.requests."+req.Type).Inc()
+		s.metrics.Counter("coord.requests." + req.Type).Inc()
 		s.metrics.Histogram("coord.request_latency_s", requestLatencyBuckets).Observe(latency)
 		if resp.Error != "" {
 			s.metrics.Counter("coord.request_errors").Inc()
@@ -214,25 +225,70 @@ func (s *Server) dispatch(req request) response {
 	}
 }
 
-// Client talks to a coordinator Server.
-type Client struct {
-	addr    string
-	timeout time.Duration
+// Client timeout defaults. The dial bound is tight — an unreachable
+// coordinator should fail fast — while the request bound leaves room
+// for a cold equilibrium solve and mirrors the server's
+// DefaultConnTimeout.
+const (
+	DefaultDialTimeout    = 5 * time.Second
+	DefaultRequestTimeout = 2 * time.Minute
+)
+
+// ClientOptions configures a Client's failure behaviour.
+type ClientOptions struct {
+	// DialTimeout bounds connection establishment. Zero selects
+	// DefaultDialTimeout; negative disables the bound.
+	DialTimeout time.Duration
+	// RequestTimeout bounds each request round trip (write + solve +
+	// read), armed as a connection deadline per request. Zero selects
+	// DefaultRequestTimeout; negative disables the bound.
+	RequestTimeout time.Duration
 }
 
-// NewClient returns a client for the given server address.
+// Client talks to a coordinator Server. Every round trip is bounded by
+// a dial timeout and a per-request deadline, so an unresponsive or
+// half-open server surfaces as a timeout error instead of blocking the
+// caller forever (mirroring the server-side connection deadlines).
+type Client struct {
+	addr        string
+	dialTimeout time.Duration
+	reqTimeout  time.Duration
+}
+
+// NewClient returns a client for the given server address with default
+// timeouts.
 func NewClient(addr string) *Client {
-	return &Client{addr: addr, timeout: 5 * time.Second}
+	return NewClientWith(addr, ClientOptions{})
+}
+
+// NewClientWith returns a client with explicit timeout options.
+func NewClientWith(addr string, opts ClientOptions) *Client {
+	normalize := func(d, def time.Duration) time.Duration {
+		switch {
+		case d == 0:
+			return def
+		case d < 0:
+			return 0
+		}
+		return d
+	}
+	return &Client{
+		addr:        addr,
+		dialTimeout: normalize(opts.DialTimeout, DefaultDialTimeout),
+		reqTimeout:  normalize(opts.RequestTimeout, DefaultRequestTimeout),
+	}
 }
 
 // roundTrip sends one request and decodes one response.
 func (c *Client) roundTrip(req request) (response, error) {
-	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
 	if err != nil {
 		return response{}, err
 	}
 	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(c.timeout))
+	if c.reqTimeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(c.reqTimeout))
+	}
 	payload, err := json.Marshal(req)
 	if err != nil {
 		return response{}, err

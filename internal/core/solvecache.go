@@ -1,0 +1,239 @@
+package core
+
+import (
+	"container/list"
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"sprintgame/internal/telemetry"
+)
+
+// SolveCache memoizes FindEquilibrium results. Solving the sprinting
+// game is the system's most expensive operation (hundreds of Bellman
+// sweeps per Algorithm 1 iteration), yet deployments re-solve the same
+// instance constantly: every rack of a cluster with the same workload
+// mix, every coordinator request between profile changes. The cache
+// keys solutions by a canonical FNV-1a hash of the game instance
+// (classes and semantic Config fields), bounds memory with an LRU, and
+// coalesces concurrent solves of the same instance into a single
+// FindEquilibrium call (singleflight), so a thundering herd of
+// identical requests performs exactly one solve.
+//
+// Returned *Equilibrium values are shared between callers and MUST be
+// treated as immutable.
+//
+// A nil *SolveCache is a valid disabled cache: FindEquilibrium falls
+// through to the plain solver. SolveCache is safe for concurrent use.
+type SolveCache struct {
+	capacity int
+	metrics  *telemetry.Registry
+
+	hits, misses, coalesced, evictions atomic.Int64
+
+	mu       sync.Mutex
+	entries  map[uint64]*list.Element // key -> element whose Value is *cacheEntry
+	order    *list.List               // front = most recently used
+	inflight map[uint64]*inflightSolve
+}
+
+// cacheEntry is one memoized solution.
+type cacheEntry struct {
+	key uint64
+	eq  *Equilibrium
+}
+
+// inflightSolve is a solve in progress that later arrivals wait on.
+type inflightSolve struct {
+	done chan struct{}
+	eq   *Equilibrium
+	err  error
+}
+
+// DefaultSolveCacheCapacity bounds the cache when NewSolveCache is
+// given a non-positive capacity. Equilibria are small (a few KB per
+// class), so the default is generous.
+const DefaultSolveCacheCapacity = 128
+
+// NewSolveCache returns a cache holding up to capacity equilibria
+// (DefaultSolveCacheCapacity if capacity <= 0). metrics, when non-nil,
+// receives solvecache.hits / .misses / .coalesced / .evictions counters
+// and a solvecache.size gauge.
+func NewSolveCache(capacity int, metrics *telemetry.Registry) *SolveCache {
+	if capacity <= 0 {
+		capacity = DefaultSolveCacheCapacity
+	}
+	return &SolveCache{
+		capacity: capacity,
+		metrics:  metrics,
+		entries:  make(map[uint64]*list.Element),
+		order:    list.New(),
+		inflight: make(map[uint64]*inflightSolve),
+	}
+}
+
+// SolveCacheStats is a point-in-time view of the cache's counters.
+type SolveCacheStats struct {
+	Hits      int64 // lookups answered from the cache
+	Misses    int64 // lookups that ran FindEquilibrium
+	Coalesced int64 // lookups that joined an in-flight solve
+	Evictions int64 // entries dropped by the LRU bound
+	Size      int   // entries currently cached
+}
+
+// HitRate returns the fraction of lookups that avoided a solve
+// (hits + coalesced over all lookups), or 0 before any lookup.
+func (s SolveCacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses + s.Coalesced
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Coalesced) / float64(total)
+}
+
+// Stats returns the cache's counters (zero value for a nil cache).
+func (c *SolveCache) Stats() SolveCacheStats {
+	if c == nil {
+		return SolveCacheStats{}
+	}
+	c.mu.Lock()
+	size := c.order.Len()
+	c.mu.Unlock()
+	return SolveCacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Evictions: c.evictions.Load(),
+		Size:      size,
+	}
+}
+
+// Len returns the number of cached equilibria.
+func (c *SolveCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// FindEquilibrium returns the memoized equilibrium for (classes, cfg),
+// solving at most once per distinct instance. Concurrent callers with
+// the same instance share one solve; distinct instances solve
+// independently and in parallel. The returned equilibrium is shared —
+// callers must not mutate it.
+func (c *SolveCache) FindEquilibrium(classes []AgentClass, cfg Config) (*Equilibrium, error) {
+	if c == nil {
+		return FindEquilibrium(classes, cfg)
+	}
+	key := SolveKey(classes, cfg)
+
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.mu.Unlock()
+		c.hits.Add(1)
+		c.metrics.Counter("solvecache.hits").Inc()
+		return el.Value.(*cacheEntry).eq, nil
+	}
+	if call, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		c.coalesced.Add(1)
+		c.metrics.Counter("solvecache.coalesced").Inc()
+		<-call.done
+		return call.eq, call.err
+	}
+	call := &inflightSolve{done: make(chan struct{})}
+	c.inflight[key] = call
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	c.metrics.Counter("solvecache.misses").Inc()
+	call.eq, call.err = FindEquilibrium(classes, cfg)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if call.err == nil {
+		el := c.order.PushFront(&cacheEntry{key: key, eq: call.eq})
+		c.entries[key] = el
+		for c.order.Len() > c.capacity {
+			oldest := c.order.Back()
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(*cacheEntry).key)
+			c.evictions.Add(1)
+			c.metrics.Counter("solvecache.evictions").Inc()
+		}
+	}
+	c.metrics.Gauge("solvecache.size").Set(float64(c.order.Len()))
+	c.mu.Unlock()
+	close(call.done)
+	return call.eq, call.err
+}
+
+// tripFingerprintSamples is the number of Ptrip curve samples folded
+// into a SolveKey. The trip model is an interface, so instead of
+// special-casing concrete types the key fingerprints the model's
+// behaviour: its bounds plus Ptrip sampled across and beyond them.
+// Functionally identical models therefore share cache entries
+// regardless of representation (e.g. a LinearTripModel and the same
+// model wrapped by power.Instrument).
+const tripFingerprintSamples = 17
+
+// SolveKey returns the canonical FNV-1a hash of a game instance: the
+// classes (name, count, density atoms) and the semantic fields of cfg.
+// Telemetry sinks (cfg.Metrics, cfg.Tracer) are deliberately excluded —
+// they do not affect the solution.
+func SolveKey(classes []AgentClass, cfg Config) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+
+	u64(uint64(len(classes)))
+	for _, cl := range classes {
+		h.Write([]byte(cl.Name))
+		h.Write([]byte{0})
+		u64(uint64(cl.Count))
+		if cl.Density == nil {
+			u64(0)
+			continue
+		}
+		u64(uint64(cl.Density.Len()))
+		for i := 0; i < cl.Density.Len(); i++ {
+			x, p := cl.Density.Atom(i)
+			f64(x)
+			f64(p)
+		}
+	}
+
+	u64(uint64(cfg.N))
+	f64(cfg.Pc)
+	f64(cfg.Pr)
+	f64(cfg.Delta)
+	f64(cfg.ValueTol)
+	u64(uint64(cfg.MaxValueIter))
+	f64(cfg.FixedPointTol)
+	u64(uint64(cfg.MaxFixedPointIter))
+	f64(cfg.Damping)
+
+	if cfg.Trip != nil {
+		nMin, nMax := cfg.Trip.Bounds()
+		f64(nMin)
+		f64(nMax)
+		span := nMax * 1.25
+		if span <= 0 {
+			span = 1
+		}
+		for i := 0; i < tripFingerprintSamples; i++ {
+			n := span * float64(i) / float64(tripFingerprintSamples-1)
+			f64(cfg.Trip.Ptrip(n))
+		}
+	}
+	return h.Sum64()
+}

@@ -36,14 +36,31 @@ func gameClasses(cfg Config) ([]core.AgentClass, error) {
 	return classes, nil
 }
 
+// GameClasses converts the configuration's groups into game agent
+// classes — the profiles agents would report to the coordinator. It is
+// the exported form of the conversion used by the equilibrium builders,
+// for callers (package cluster, solve caches) that key or solve the
+// game themselves.
+func GameClasses(cfg Config) ([]core.AgentClass, error) {
+	return gameClasses(cfg)
+}
+
 // BuildEquilibriumPolicy runs Algorithm 1 for the configuration's groups
 // and returns the E-T policy along with the equilibrium itself.
 func BuildEquilibriumPolicy(cfg Config) (*policy.Threshold, *core.Equilibrium, error) {
+	return BuildEquilibriumPolicyCached(cfg, nil)
+}
+
+// BuildEquilibriumPolicyCached is BuildEquilibriumPolicy through a
+// solve cache: identical (groups, game) instances reuse one memoized
+// equilibrium, and concurrent builds of the same instance coalesce into
+// a single solve. A nil cache solves directly.
+func BuildEquilibriumPolicyCached(cfg Config, cache *core.SolveCache) (*policy.Threshold, *core.Equilibrium, error) {
 	classes, err := gameClasses(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	eq, err := core.FindEquilibrium(classes, cfg.Game)
+	eq, err := cache.FindEquilibrium(classes, cfg.Game)
 	if err != nil {
 		return nil, nil, err
 	}

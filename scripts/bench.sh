@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# Benchmark baseline: run the cluster epoch-engine and solve-cache
+# benchmarks and record them as BENCH_cluster.json (one JSON object per
+# benchmark) so successive PRs can diff scaling behaviour.
+#
+# Usage: scripts/bench.sh [benchtime]   (default 1x)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-1x}"
+OUT="BENCH_cluster.json"
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench 'BenchmarkCluster' -benchtime "$BENCHTIME" ./internal/cluster >"$RAW"
+go test -run '^$' -bench 'BenchmarkSolveCacheHit|BenchmarkFindEquilibriumCold' \
+	-benchtime "$BENCHTIME" ./internal/core >>"$RAW"
+
+awk '
+BEGIN { print "[" }
+/^Benchmark/ {
+	name = $1
+	iters = $2
+	ns = $3
+	extra = ""
+	for (i = 5; i < NF; i += 2) {
+		extra = extra sprintf(", \"%s\": %s", $(i+1), $i)
+	}
+	if (n++) printf ",\n"
+	printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s%s}", name, iters, ns, extra
+}
+END { if (n) printf "\n"; print "]" }
+' "$RAW" >"$OUT"
+
+echo "wrote $OUT:"
+cat "$OUT"

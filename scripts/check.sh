@@ -1,16 +1,30 @@
 #!/usr/bin/env sh
-# Repository check: vet everything, then run the full test suite under
-# the race detector. The race pass matters most for internal/telemetry
-# (shared registry/tracer) and internal/coord (instrumented TCP server).
+# Repository check: formatting, vet, build, then tests under the race
+# detector. The race passes matter most for internal/telemetry (shared
+# registry/tracer), internal/coord (instrumented TCP server + solve
+# cache singleflight), and internal/cluster (worker-pool epoch engine).
 set -eu
 
 cd "$(dirname "$0")/.."
+
+echo "== gofmt -l"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 
 echo "== go vet ./..."
 go vet ./...
 
 echo "== go build ./..."
 go build ./...
+
+# Quick signal first: the cluster engine is the most concurrency-heavy
+# package, so its short-mode race pass runs before the full suite.
+echo "== go test -race -short ./internal/cluster/..."
+go test -race -short ./internal/cluster/...
 
 echo "== go test -race ./..."
 go test -race ./...
