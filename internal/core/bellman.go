@@ -27,12 +27,33 @@ type Values struct {
 
 // SolveBellman solves Eqs. (1)-(8) by value iteration for the utility
 // density f and tripping probability ptrip. The recursion contracts with
-// modulus delta, so with delta = 0.99 convergence takes a few thousand
-// sweeps (the paper: iterations grow polynomially in 1/(1-delta)).
+// modulus delta, so with delta = 0.99 a cold start converges in a few
+// thousand sweeps (the paper: iterations grow polynomially in
+// 1/(1-delta)). Each sweep costs O(log n) under the default crossover
+// kernel (see kernel.go) or O(n) under the KernelScan reference path.
 func SolveBellman(f *dist.Discrete, ptrip float64, cfg Config) (Values, error) {
 	if err := cfg.Validate(); err != nil {
 		return Values{}, err
 	}
+	return solveBellman(f, ptrip, cfg, Values{})
+}
+
+// SolveBellmanWarm is SolveBellman started from a previous solution.
+// Value iteration is a contraction, so any starting point converges to
+// the same fixed point (within ValueTol); a guess solved at a nearby
+// ptrip lands within a handful of sweeps instead of thousands. The zero
+// Values is exactly the cold start.
+func SolveBellmanWarm(f *dist.Discrete, ptrip float64, cfg Config, guess Values) (Values, error) {
+	if err := cfg.Validate(); err != nil {
+		return Values{}, err
+	}
+	return solveBellman(f, ptrip, cfg, guess)
+}
+
+// solveBellman is the pre-validated entry point: cfg must already have
+// passed Validate. Algorithm 1 calls this once per class per fixed-point
+// iteration, so re-validating here would dominate small solves.
+func solveBellman(f *dist.Discrete, ptrip float64, cfg Config, guess Values) (Values, error) {
 	if f == nil || f.Len() == 0 {
 		return Values{}, errors.New("core: empty utility density")
 	}
@@ -40,10 +61,12 @@ func SolveBellman(f *dist.Discrete, ptrip float64, cfg Config) (Values, error) {
 		return Values{}, fmt.Errorf("core: ptrip = %v is not a probability", ptrip)
 	}
 	d := cfg.Delta
-	var vA, vC, vR float64
-	n := f.Len()
-	us := f.Values()
-	ps := f.Probs()
+	vA, vC, vR := guess.VA, guess.VC, guess.VR
+	scan := cfg.Kernel == KernelScan
+	var us, ps []float64
+	if scan {
+		us, ps = f.Values(), f.Probs()
+	}
 	iter := 0
 	for ; iter < cfg.MaxValueIter; iter++ {
 		// Value of not sprinting (Eq. 3) is utility-independent.
@@ -52,13 +75,11 @@ func SolveBellman(f *dist.Discrete, ptrip float64, cfg Config) (Values, error) {
 		// (Eq. 2).
 		sprintCont := d * (vC*(1-ptrip) + vR*ptrip)
 		// Eq. (4): expectation of Eq. (1) over f.
-		newVA := 0.0
-		for i := 0; i < n; i++ {
-			v := us[i] + sprintCont
-			if vNoSprint > v {
-				v = vNoSprint
-			}
-			newVA += ps[i] * v
+		var newVA float64
+		if scan {
+			newVA = sweepScan(us, ps, sprintCont, vNoSprint)
+		} else {
+			newVA = sweepCrossover(f, sprintCont, vNoSprint)
 		}
 		// Eqs. (5) and (6).
 		newVC := d*(vC*cfg.Pc+vA*(1-cfg.Pc))*(1-ptrip) + d*vR*ptrip

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"sprintgame/internal/dist"
+	"sprintgame/internal/power"
+)
+
+// benchDensity builds a synthetic density with the given atom count
+// (mirrors cacheInstance's shape so results compare across benchmarks).
+func benchDensity(b *testing.B, atoms int) *dist.Discrete {
+	b.Helper()
+	values := make([]float64, atoms)
+	weights := make([]float64, atoms)
+	for i := range values {
+		values[i] = 1 + 7*float64(i)/float64(atoms-1)
+		weights[i] = 1 + float64(i%5)
+	}
+	d, err := dist.NewDiscrete(values, weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkSolveBellman measures one cold dynamic-program solve (Eqs.
+// 1-8) under the default crossover kernel, the inner loop of Algorithm 1.
+func BenchmarkSolveBellman(b *testing.B) {
+	f := benchDensity(b, 250)
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveBellman(f, 0.1, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveBellmanKernel compares the reference O(n) scan against
+// the O(log n) crossover kernel on small and large densities. The gap
+// widens with the atom count: the scan is linear per sweep, the
+// crossover logarithmic.
+func BenchmarkSolveBellmanKernel(b *testing.B) {
+	for _, atoms := range []int{64, 1024} {
+		f := benchDensity(b, atoms)
+		for _, k := range []struct {
+			name   string
+			kernel BellmanKernel
+		}{
+			{"scan", KernelScan},
+			{"crossover", KernelCrossover},
+		} {
+			b.Run(fmt.Sprintf("kernel=%s/atoms=%d", k.name, atoms), func(b *testing.B) {
+				cfg := DefaultConfig()
+				cfg.Kernel = k.kernel
+				for i := 0; i < b.N; i++ {
+					if _, err := SolveBellman(f, 0.1, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// benchClasses builds a heterogeneous k-class rack over shifted
+// densities, 64 agents total.
+func benchClasses(b *testing.B, k, atoms int) ([]AgentClass, Config) {
+	b.Helper()
+	cfg := DefaultConfig()
+	cfg.N = 64
+	cfg.Trip = power.LinearTripModel{NMin: 16, NMax: 48}
+	per := cfg.N / k
+	classes := make([]AgentClass, k)
+	for c := 0; c < k; c++ {
+		values := make([]float64, atoms)
+		weights := make([]float64, atoms)
+		for i := range values {
+			values[i] = 1 + 0.3*float64(c) + 7*float64(i)/float64(atoms-1)
+			weights[i] = 1 + float64((i+c)%5)
+		}
+		d, err := dist.NewDiscrete(values, weights)
+		if err != nil {
+			b.Fatal(err)
+		}
+		count := per
+		if c == k-1 {
+			count = cfg.N - per*(k-1)
+		}
+		classes[c] = AgentClass{Name: fmt.Sprintf("class-%d", c), Count: count, Density: d}
+	}
+	return classes, cfg
+}
+
+// BenchmarkFindEquilibriumColdClasses measures cold Algorithm 1 runs
+// over 1/4/8-class racks, serial (Workers=1) versus the default bounded
+// pool (Workers=0 → GOMAXPROCS). Single-class instances cannot
+// parallelize — the pool's win grows with class count.
+func BenchmarkFindEquilibriumColdClasses(b *testing.B) {
+	for _, k := range []int{1, 4, 8} {
+		classes, cfg := benchClasses(b, k, 250)
+		for _, w := range []struct {
+			name    string
+			workers int
+		}{
+			{"serial", 1},
+			{"parallel", 0},
+		} {
+			b.Run(fmt.Sprintf("classes=%d/%s", k, w.name), func(b *testing.B) {
+				wcfg := cfg
+				wcfg.Workers = w.workers
+				for i := 0; i < b.N; i++ {
+					if _, err := FindEquilibrium(classes, wcfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -46,6 +46,25 @@ type Config struct {
 	// Algorithm 1; smaller values stabilize oscillating instances.
 	Damping float64
 
+	// Kernel selects the value-iteration sweep implementation.
+	// KernelCrossover (the zero value) evaluates Eq. (4) in O(log n)
+	// through the density's prefix sums; KernelScan is the original
+	// O(n) scan, kept as a reference path for differential testing.
+	Kernel BellmanKernel
+	// Workers bounds the goroutine pool that solves per-class dynamic
+	// programs inside each Algorithm 1 iteration. 0 uses GOMAXPROCS;
+	// 1 forces the serial path. Any value produces byte-identical
+	// equilibria (classes are independent given Ptrip and the reduction
+	// is in class order), so Workers is excluded from SolveKey.
+	Workers int
+	// Accel selects an optional extrapolation scheme for the outer
+	// Ptrip fixed point. AccelNone (the zero value) is the paper's
+	// damped iteration; AccelAitken applies a guarded Aitken delta-
+	// squared jump every third iteration, which cuts iterations on
+	// slowly-contracting instances at the cost of a slightly different
+	// residual trajectory.
+	Accel FixedPointAccel
+
 	// Metrics, when non-nil, receives solver metrics (solver.runs,
 	// solver.iterations, solver.residual, ...). Nil disables metrics at
 	// negligible cost.
@@ -54,6 +73,33 @@ type Config struct {
 	// and a final solver.done event as JSONL. Nil disables tracing.
 	Tracer *telemetry.Tracer
 }
+
+// BellmanKernel selects how a value-iteration sweep evaluates the
+// expectation of Eq. (4) over the utility density.
+type BellmanKernel int
+
+const (
+	// KernelCrossover binary-searches the sprint/no-sprint crossover in
+	// the sorted support and evaluates the expectation from the
+	// density's cached prefix sums: O(log n) per sweep. The default.
+	KernelCrossover BellmanKernel = iota
+	// KernelScan is the original O(n) per-sweep scan over every atom,
+	// kept as the reference implementation for differential tests.
+	KernelScan
+)
+
+// FixedPointAccel selects an extrapolation scheme for Algorithm 1's
+// outer fixed point.
+type FixedPointAccel int
+
+const (
+	// AccelNone runs the plain damped iteration. The default.
+	AccelNone FixedPointAccel = iota
+	// AccelAitken applies Aitken delta-squared extrapolation to the
+	// damped Ptrip sequence, guarded so it never leaves [0, 1] and
+	// falls back to the plain step when the denominator degenerates.
+	AccelAitken
+)
 
 // DefaultConfig returns the paper's Table 2 parameters with solver
 // settings that converge for every catalog workload.
@@ -97,6 +143,15 @@ func (c Config) Validate() error {
 	}
 	if c.Damping <= 0 || c.Damping > 1 {
 		return fmt.Errorf("core: damping %v outside (0, 1]", c.Damping)
+	}
+	if c.Kernel != KernelCrossover && c.Kernel != KernelScan {
+		return fmt.Errorf("core: unknown bellman kernel %d", c.Kernel)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: workers %d must be non-negative", c.Workers)
+	}
+	if c.Accel != AccelNone && c.Accel != AccelAitken {
+		return fmt.Errorf("core: unknown fixed-point acceleration %d", c.Accel)
 	}
 	return nil
 }

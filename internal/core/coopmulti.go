@@ -103,8 +103,8 @@ func CooperativeThresholdMulti(classes []AgentClass, cfg Config) (thresholds []f
 			}
 			bestTh := thresholds[i]
 			bestRate := best.Rate
+			trial := append([]float64(nil), thresholds...)
 			for _, th := range candidates {
-				trial := append([]float64(nil), thresholds...)
 				trial[i] = th
 				mt, err := EvaluateThresholds(classes, trial, cfg)
 				if err != nil {

@@ -1,0 +1,348 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"sprintgame/internal/dist"
+	"sprintgame/internal/power"
+	"sprintgame/internal/stats"
+	"sprintgame/internal/workload"
+)
+
+// catalogDensities returns every catalog workload's discretized density.
+// Short mode keeps the first three — enough to cover the unimodal,
+// bimodal, and outlier shapes — so the race-detector pass stays quick.
+func catalogDensities(t *testing.T, bins int) map[string]*dist.Discrete {
+	t.Helper()
+	out := make(map[string]*dist.Discrete)
+	for i, b := range workload.Catalog() {
+		if testing.Short() && i >= 3 {
+			break
+		}
+		d, err := b.DiscreteDensity(bins)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		out[b.Name] = d
+	}
+	return out
+}
+
+// diffPtrips is the differential grid: the boundary beliefs, the
+// midpoint, and seeded random interior points.
+func diffPtrips() []float64 {
+	r := stats.NewRNG(7)
+	ps := []float64{0, 0.5, 1}
+	for i := 0; i < 3; i++ {
+		ps = append(ps, r.Float64())
+	}
+	return ps
+}
+
+// TestKernelDifferential checks that the O(log n) crossover kernel, the
+// reference O(n) scan, and the closed-form fast solver agree on every
+// catalog density across the ptrip grid. Solves run at ValueTol = 1e-12
+// so each path's own truncation error (~ValueTol/(1-delta)) sits well
+// below the default ValueTol the values are compared at.
+func TestKernelDifferential(t *testing.T) {
+	cfg := DefaultConfig()
+	tol := cfg.ValueTol // compare at the default tolerance
+	cfg.ValueTol = 1e-12
+	scanCfg := cfg
+	scanCfg.Kernel = KernelScan
+
+	for name, f := range catalogDensities(t, 250) {
+		for _, ptrip := range diffPtrips() {
+			cross, err := SolveBellman(f, ptrip, cfg)
+			if err != nil {
+				t.Fatalf("%s ptrip=%v crossover: %v", name, ptrip, err)
+			}
+			scan, err := SolveBellman(f, ptrip, scanCfg)
+			if err != nil {
+				t.Fatalf("%s ptrip=%v scan: %v", name, ptrip, err)
+			}
+			fast, err := SolveBellmanFast(f, ptrip, cfg)
+			if err != nil {
+				t.Fatalf("%s ptrip=%v fast: %v", name, ptrip, err)
+			}
+			for _, pair := range []struct {
+				label    string
+				got, ref Values
+			}{
+				{"crossover vs scan", cross, scan},
+				{"fast vs scan", fast, scan},
+			} {
+				if d := valuesDistance(pair.got, pair.ref); d > tol {
+					t.Errorf("%s ptrip=%v: %s differ by %.3e (> %g):\n got %+v\n ref %+v",
+						name, ptrip, pair.label, d, tol, pair.got, pair.ref)
+				}
+			}
+		}
+	}
+}
+
+// valuesDistance is the largest discrepancy across VA/VC/VR/Threshold.
+func valuesDistance(a, b Values) float64 {
+	d := math.Abs(a.VA - b.VA)
+	d = math.Max(d, math.Abs(a.VC-b.VC))
+	d = math.Max(d, math.Abs(a.VR-b.VR))
+	return math.Max(d, math.Abs(a.Threshold-b.Threshold))
+}
+
+// TestWarmStartMatchesCold verifies that a warm-started dynamic-program
+// solve lands on the cold solve's fixed point: the recursion is a
+// contraction, so the starting point must not matter.
+func TestWarmStartMatchesCold(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ValueTol = 1e-12
+	for name, f := range catalogDensities(t, 250) {
+		cold, err := SolveBellman(f, 0.3, cfg)
+		if err != nil {
+			t.Fatalf("%s cold: %v", name, err)
+		}
+		// Warm from a neighbouring ptrip's solution.
+		neighbour, err := SolveBellman(f, 0.35, cfg)
+		if err != nil {
+			t.Fatalf("%s neighbour: %v", name, err)
+		}
+		warm, err := SolveBellmanWarm(f, 0.3, cfg, neighbour)
+		if err != nil {
+			t.Fatalf("%s warm: %v", name, err)
+		}
+		if d := valuesDistance(warm, cold); d > 1e-9 {
+			t.Errorf("%s: warm start diverged from cold by %.3e", name, d)
+		}
+		if warm.Iterations >= cold.Iterations {
+			t.Errorf("%s: warm start used %d sweeps, cold %d — no savings",
+				name, warm.Iterations, cold.Iterations)
+		}
+		// Warm-starting the fast solver must be equally harmless.
+		fastWarm, err := SolveBellmanFastWarm(f, 0.3, cfg, neighbour)
+		if err != nil {
+			t.Fatalf("%s fast warm: %v", name, err)
+		}
+		if d := valuesDistance(fastWarm, cold); d > 1e-9 {
+			t.Errorf("%s: fast warm start diverged from cold by %.3e", name, d)
+		}
+	}
+}
+
+// referenceEquilibrium is the seed implementation of Algorithm 1 — cold
+// scan-kernel solves every iteration, no warm starts, no acceleration —
+// retained verbatim as the differential baseline.
+func referenceEquilibrium(t *testing.T, classes []AgentClass, cfg Config) *Equilibrium {
+	t.Helper()
+	cfg.Kernel = KernelScan
+	ptrip := 1.0
+	eq := &Equilibrium{Classes: make([]ClassOutcome, len(classes))}
+	for iter := 1; iter <= cfg.MaxFixedPointIter; iter++ {
+		nS := 0.0
+		for i, c := range classes {
+			vals, err := SolveBellman(c.Density, ptrip, cfg)
+			if err != nil {
+				t.Fatalf("reference solve: %v", err)
+			}
+			ps := SprintProbability(c.Density, vals.Threshold)
+			pa := ActiveFraction(ps, cfg.Pc)
+			contrib := ps * pa * float64(c.Count)
+			eq.Classes[i] = ClassOutcome{
+				Name: c.Name, Threshold: vals.Threshold, SprintProb: ps,
+				ActiveFrac: pa, ExpectedSprinters: contrib, Values: vals,
+			}
+			nS += contrib
+		}
+		next := cfg.Trip.Ptrip(nS)
+		eq.Sprinters = nS
+		eq.Iterations = iter
+		if math.Abs(next-ptrip) < cfg.FixedPointTol {
+			eq.Ptrip = ptrip
+			eq.Converged = true
+			return eq
+		}
+		ptrip += cfg.Damping * (next - ptrip)
+	}
+	eq.Ptrip = ptrip
+	return eq
+}
+
+// TestEquilibriumMatchesReference runs the optimised solver (crossover
+// kernel + warm starts) against the seed reference path on every catalog
+// workload. Both run at tightened tolerances so each lands well within
+// the default FixedPointTol of the true fixed point, then equilibria are
+// compared at the default FixedPointTol.
+func TestEquilibriumMatchesReference(t *testing.T) {
+	base := DefaultConfig()
+	tol := base.FixedPointTol
+	cfg := base
+	cfg.N = 64
+	cfg.Trip = power.LinearTripModel{NMin: 16, NMax: 48}
+	cfg.ValueTol = 1e-12
+	cfg.FixedPointTol = 1e-9
+
+	for name, f := range catalogDensities(t, 120) {
+		classes := []AgentClass{{Name: name, Count: cfg.N, Density: f}}
+		got, err := FindEquilibrium(classes, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ref := referenceEquilibrium(t, classes, cfg)
+		if !got.Converged || !ref.Converged {
+			t.Fatalf("%s: converged got=%v ref=%v", name, got.Converged, ref.Converged)
+		}
+		if d := math.Abs(got.Ptrip - ref.Ptrip); d > tol {
+			t.Errorf("%s: ptrip differs by %.3e (> %g)", name, d, tol)
+		}
+		if d := math.Abs(got.Sprinters - ref.Sprinters); d > tol*float64(cfg.N) {
+			t.Errorf("%s: sprinters differ by %.3e", name, d)
+		}
+		for i := range got.Classes {
+			if d := math.Abs(got.Classes[i].Threshold - ref.Classes[i].Threshold); d > tol {
+				t.Errorf("%s class %d: threshold differs by %.3e (> %g)", name, i, d, tol)
+			}
+		}
+	}
+}
+
+// multiClassInstance builds a heterogeneous rack of k classes with
+// shifted synthetic densities.
+func multiClassInstance(tb testing.TB, k, atoms int) ([]AgentClass, Config) {
+	tb.Helper()
+	cfg := DefaultConfig()
+	cfg.N = 64
+	cfg.Trip = power.LinearTripModel{NMin: 16, NMax: 48}
+	per := cfg.N / k
+	classes := make([]AgentClass, k)
+	for c := 0; c < k; c++ {
+		values := make([]float64, atoms)
+		weights := make([]float64, atoms)
+		for i := range values {
+			values[i] = 1 + 0.3*float64(c) + 7*float64(i)/float64(atoms-1)
+			weights[i] = 1 + float64((i+c)%5)
+		}
+		d, err := dist.NewDiscrete(values, weights)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		count := per
+		if c == k-1 {
+			count = cfg.N - per*(k-1)
+		}
+		classes[c] = AgentClass{Name: "class-" + string(rune('a'+c)), Count: count, Density: d}
+	}
+	return classes, cfg
+}
+
+// TestParallelEquilibriumDeterministic is the tentpole's determinism
+// guarantee: every pool size must produce a byte-identical Equilibrium
+// and an identical SolveKey.
+func TestParallelEquilibriumDeterministic(t *testing.T) {
+	classes, cfg := multiClassInstance(t, 5, 80)
+
+	serialCfg := cfg
+	serialCfg.Workers = 1
+	want, err := FindEquilibrium(classes, serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKey := SolveKey(classes, serialCfg)
+
+	for _, workers := range []int{0, 2, 3, 8, 64} {
+		pcfg := cfg
+		pcfg.Workers = workers
+		got, err := FindEquilibrium(classes, pcfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: equilibrium differs from serial path:\n got %+v\nwant %+v",
+				workers, got, want)
+		}
+		if key := SolveKey(classes, pcfg); key != wantKey {
+			t.Errorf("workers=%d: SolveKey %x differs from serial %x", workers, key, wantKey)
+		}
+	}
+}
+
+// TestSweepWarmMatchesCold checks that warm-starting sensitivity sweeps
+// from the neighbouring grid point does not move the equilibria: each
+// point must match an independent cold solve.
+func TestSweepWarmMatchesCold(t *testing.T) {
+	b, err := workload.ByName(workload.Names()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := b.DiscreteDensity(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.N = 64
+	cfg.Trip = power.LinearTripModel{NMin: 16, NMax: 48}
+
+	values := []float64{0.3, 0.4, 0.5, 0.6, 0.7}
+	pts, err := SweepPc(f, cfg, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range values {
+		cold := cfg
+		cold.Pc = v
+		eq, err := SingleClass("sweep", f, cold)
+		if err != nil {
+			t.Fatalf("cold pc=%v: %v", v, err)
+		}
+		if d := math.Abs(pts[i].Ptrip - eq.Ptrip); d > 1e-5 {
+			t.Errorf("pc=%v: warm sweep ptrip differs from cold by %.3e", v, d)
+		}
+		if d := math.Abs(pts[i].Threshold - eq.Classes[0].Threshold); d > 1e-5 {
+			t.Errorf("pc=%v: warm sweep threshold differs from cold by %.3e", v, d)
+		}
+	}
+}
+
+// TestAitkenAcceleration checks the guarded extrapolation converges to
+// the plain damped iteration's fixed point.
+func TestAitkenAcceleration(t *testing.T) {
+	classes, cfg := multiClassInstance(t, 2, 80)
+	plain, err := FindEquilibrium(classes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acfg := cfg
+	acfg.Accel = AccelAitken
+	accel, err := FindEquilibrium(classes, acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Converged || !accel.Converged {
+		t.Fatalf("converged: plain=%v accel=%v", plain.Converged, accel.Converged)
+	}
+	if d := math.Abs(plain.Ptrip - accel.Ptrip); d > 1e-5 {
+		t.Errorf("aitken ptrip differs from plain by %.3e", d)
+	}
+	t.Logf("iterations: plain=%d aitken=%d", plain.Iterations, accel.Iterations)
+}
+
+// TestFindEquilibriumAllocations pins the serial solver's allocation
+// count: the equilibrium struct, its two slices, and the warm-start
+// scratch — nothing per-iteration. A regression here means a hot-loop
+// allocation crept back in.
+func TestFindEquilibriumAllocations(t *testing.T) {
+	classes, cfg := multiClassInstance(t, 2, 80)
+	cfg.Workers = 1
+	// Prime density prefix sums so the measurement sees steady state.
+	if _, err := FindEquilibrium(classes, cfg); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := FindEquilibrium(classes, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const maxAllocs = 12
+	if allocs > maxAllocs {
+		t.Errorf("FindEquilibrium allocated %.0f objects per solve, want <= %d", allocs, maxAllocs)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"sprintgame/internal/dist"
 	"sprintgame/internal/telemetry"
@@ -72,6 +74,19 @@ type Equilibrium struct {
 	Converged bool
 }
 
+// WarmStart seeds Algorithm 1 from a previous solution of a nearby
+// instance (e.g. the neighbouring point of a sensitivity sweep). Ptrip
+// replaces the paper's Ptrip = 1 initialization; Values, when non-nil,
+// warm-starts each class's first dynamic-program solve and must have one
+// entry per class in class order. A warm start changes only the solve
+// trajectory: every later solve is warm-started from the previous
+// iteration regardless, and the fixed point reached is the same within
+// FixedPointTol for instances in the same basin of attraction.
+type WarmStart struct {
+	Ptrip  float64
+	Values []Values
+}
+
 // FindEquilibrium runs Algorithm 1 for one or more agent classes. Per the
 // paper, the iteration starts from Ptrip = 1 and alternates: solve each
 // class's dynamic program for the current Ptrip, derive thresholds and
@@ -80,8 +95,22 @@ type Equilibrium struct {
 // suppress the oscillations the raw iteration exhibits near the kinks of
 // Eq. (11).
 //
+// Ptrip moves by Damping*(next-ptrip) per step, so each iteration's
+// converged Values are an excellent initial guess for the next: every
+// inner solve after the first is warm-started from its class's previous
+// solution. Classes are independent given Ptrip, so when cfg.Workers
+// permits, the per-class solves run on a bounded goroutine pool; results
+// land in per-class slots and are reduced in class order, making the
+// output byte-identical to the serial path for any pool size.
+//
 // The class counts must sum to cfg.N.
 func FindEquilibrium(classes []AgentClass, cfg Config) (*Equilibrium, error) {
+	return FindEquilibriumWarm(classes, cfg, nil)
+}
+
+// FindEquilibriumWarm is FindEquilibrium seeded by a previous solution.
+// A nil warm start reproduces FindEquilibrium exactly.
+func FindEquilibriumWarm(classes []AgentClass, cfg Config, warm *WarmStart) (*Equilibrium, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -103,26 +132,45 @@ func FindEquilibrium(classes []AgentClass, cfg Config) (*Equilibrium, error) {
 	residualGauge := cfg.Metrics.Gauge("solver.residual")
 
 	ptrip := 1.0 // Algorithm 1 initialization
-	eq := &Equilibrium{Classes: make([]ClassOutcome, len(classes))}
+	// guesses[i] warm-starts class i's next solve; the zero Values is a
+	// cold start.
+	guesses := make([]Values, len(classes))
+	if warm != nil {
+		if warm.Ptrip < 0 || warm.Ptrip > 1 {
+			return nil, fmt.Errorf("core: warm-start ptrip = %v is not a probability", warm.Ptrip)
+		}
+		if warm.Values != nil && len(warm.Values) != len(classes) {
+			return nil, fmt.Errorf("core: warm start has %d value sets for %d classes", len(warm.Values), len(classes))
+		}
+		ptrip = warm.Ptrip
+		copy(guesses, warm.Values)
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(classes) {
+		workers = len(classes)
+	}
+
+	eq := &Equilibrium{
+		Classes:   make([]ClassOutcome, len(classes)),
+		Residuals: make([]float64, 0, cfg.MaxFixedPointIter),
+	}
+	// Aitken delta-squared state: the last iterates of the damped Ptrip
+	// sequence (AccelAitken only).
+	var aitken [3]float64
+	aitkenLen := 0
 	for iter := 1; iter <= cfg.MaxFixedPointIter; iter++ {
+		if err := solveClasses(classes, ptrip, cfg, guesses, eq.Classes, workers); err != nil {
+			return nil, err
+		}
+		// Deterministic reduction in class order: byte-identical for
+		// serial and parallel solves.
 		nS := 0.0
-		for i, c := range classes {
-			vals, err := SolveBellman(c.Density, ptrip, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("core: class %q: %w", c.Name, err)
-			}
-			ps := SprintProbability(c.Density, vals.Threshold)
-			pa := ActiveFraction(ps, cfg.Pc)
-			contrib := ps * pa * float64(c.Count)
-			eq.Classes[i] = ClassOutcome{
-				Name:              c.Name,
-				Threshold:         vals.Threshold,
-				SprintProb:        ps,
-				ActiveFrac:        pa,
-				ExpectedSprinters: contrib,
-				Values:            vals,
-			}
-			nS += contrib
+		for i := range eq.Classes {
+			nS += eq.Classes[i].ExpectedSprinters
 		}
 		next := cfg.Trip.Ptrip(nS)
 		residual := math.Abs(next - ptrip)
@@ -146,10 +194,98 @@ func FindEquilibrium(classes []AgentClass, cfg Config) (*Equilibrium, error) {
 			return eq, nil
 		}
 		ptrip += cfg.Damping * (next - ptrip)
+		if cfg.Accel == AccelAitken {
+			if aitkenLen < 3 {
+				aitken[aitkenLen] = ptrip
+				aitkenLen++
+			}
+			if aitkenLen == 3 {
+				if ext, ok := aitkenExtrapolate(aitken); ok {
+					ptrip = ext
+				}
+				aitkenLen = 0
+			}
+		}
 	}
 	eq.Ptrip = ptrip
 	finishSolve(cfg, eq)
 	return eq, nil
+}
+
+// aitkenExtrapolate applies the delta-squared formula to three successive
+// iterates of the damped sequence. The geometric tail of a contraction
+// makes x* = x2 - (x2-x1)^2 / (x2 - 2 x1 + x0) a far better estimate of
+// the limit than x2 itself. The jump is rejected (plain iteration
+// continues) when the denominator degenerates or the extrapolant leaves
+// [0, 1].
+func aitkenExtrapolate(x [3]float64) (float64, bool) {
+	den := x[2] - 2*x[1] + x[0]
+	if math.Abs(den) < 1e-14 {
+		return 0, false
+	}
+	d := x[2] - x[1]
+	ext := x[2] - d*d/den
+	if math.IsNaN(ext) || ext < 0 || ext > 1 {
+		return 0, false
+	}
+	return ext, true
+}
+
+// solveClasses solves every class's dynamic program at ptrip, writing
+// outcomes into out[i] and the converged values into guesses[i] (the
+// warm start for the next iteration). With workers > 1 the solves run
+// concurrently on a bounded pool; each goroutine touches only its own
+// slot, so the result is byte-identical to the serial path. On error the
+// lowest-indexed failure is reported, matching serial behaviour.
+func solveClasses(classes []AgentClass, ptrip float64, cfg Config, guesses []Values, out []ClassOutcome, workers int) error {
+	if workers <= 1 || len(classes) == 1 {
+		for i := range classes {
+			if err := solveClass(&classes[i], ptrip, cfg, &guesses[i], &out[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(classes))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range classes {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = solveClass(&classes[i], ptrip, cfg, &guesses[i], &out[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// solveClass solves one class's dynamic program and derives its
+// population statistics (Eqs. 9-10).
+func solveClass(c *AgentClass, ptrip float64, cfg Config, guess *Values, out *ClassOutcome) error {
+	vals, err := solveBellman(c.Density, ptrip, cfg, *guess)
+	if err != nil {
+		return fmt.Errorf("core: class %q: %w", c.Name, err)
+	}
+	ps := SprintProbability(c.Density, vals.Threshold)
+	pa := ActiveFraction(ps, cfg.Pc)
+	*out = ClassOutcome{
+		Name:              c.Name,
+		Threshold:         vals.Threshold,
+		SprintProb:        ps,
+		ActiveFrac:        pa,
+		ExpectedSprinters: ps * pa * float64(c.Count),
+		Values:            vals,
+	}
+	*guess = vals
+	return nil
 }
 
 // finishSolve records end-of-run solver telemetry.

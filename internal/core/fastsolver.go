@@ -25,6 +25,22 @@ func SolveBellmanFast(f *dist.Discrete, ptrip float64, cfg Config) (Values, erro
 	if err := cfg.Validate(); err != nil {
 		return Values{}, err
 	}
+	return solveBellmanFast(f, ptrip, cfg, Values{})
+}
+
+// SolveBellmanFastWarm is SolveBellmanFast started from a previous
+// solution's VA (the contraction is one-dimensional, so only the guess's
+// VA matters). The zero Values is exactly the cold start.
+func SolveBellmanFastWarm(f *dist.Discrete, ptrip float64, cfg Config, guess Values) (Values, error) {
+	if err := cfg.Validate(); err != nil {
+		return Values{}, err
+	}
+	return solveBellmanFast(f, ptrip, cfg, guess)
+}
+
+// solveBellmanFast is the pre-validated entry point shared by the cold
+// and warm-started fast solver.
+func solveBellmanFast(f *dist.Discrete, ptrip float64, cfg Config, guess Values) (Values, error) {
 	if f == nil || f.Len() == 0 {
 		return Values{}, errors.New("core: empty utility density")
 	}
@@ -38,22 +54,23 @@ func SolveBellmanFast(f *dist.Discrete, ptrip float64, cfg Config) (Values, erro
 	cDen := 1 - d*cfg.Pc*(1-ptrip)
 	cCoef := (d*(1-ptrip)*(1-cfg.Pc) + d*ptrip*rCoef) / cDen
 
-	us := f.Values()
-	ps := f.Probs()
-	va := 0.0
+	scan := cfg.Kernel == KernelScan
+	var us, ps []float64
+	if scan {
+		us, ps = f.Values(), f.Probs()
+	}
+	va := guess.VA
 	iter := 0
 	for ; iter < cfg.MaxValueIter; iter++ {
 		vc := cCoef * va
 		vr := rCoef * va
 		noSprint := d * (va*(1-ptrip) + vr*ptrip)
 		sprintCont := d * (vc*(1-ptrip) + vr*ptrip)
-		next := 0.0
-		for i := range us {
-			v := us[i] + sprintCont
-			if noSprint > v {
-				v = noSprint
-			}
-			next += ps[i] * v
+		var next float64
+		if scan {
+			next = sweepScan(us, ps, sprintCont, noSprint)
+		} else {
+			next = sweepCrossover(f, sprintCont, noSprint)
 		}
 		diff := math.Abs(next - va)
 		va = next

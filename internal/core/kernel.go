@@ -1,0 +1,45 @@
+package core
+
+import (
+	"sprintgame/internal/dist"
+)
+
+// The value-iteration sweep kernel: evaluate Eq. (4)'s expectation
+//
+//	E_f[ max(u + sprintCont, vNoSprint) ]
+//
+// over the utility density. The density's support is sorted and
+// deduplicated, and max(u + sprintCont, vNoSprint) is monotone in u, so
+// there is a single crossover utility t = vNoSprint - sprintCont: atoms
+// strictly below t take the no-sprint value, atoms at or above it take
+// the sprint value (ties sprint, matching the reference scan, which only
+// replaces on a strict comparison). With the density's cached prefix
+// sums the expectation splits into
+//
+//	P(u < t) * vNoSprint  +  E[u · 1{u >= t}]  +  P(u >= t) * sprintCont
+//
+// — two array reads on either side of a binary search, O(log n) per
+// sweep instead of the reference scan's O(n).
+
+// sweepCrossover evaluates the expectation through the crossover split.
+func sweepCrossover(f *dist.Discrete, sprintCont, vNoSprint float64) float64 {
+	k := f.SearchValue(vNoSprint - sprintCont)
+	cumP, cumPX := f.PrefixSums()
+	n := f.Len()
+	return cumP[k]*vNoSprint + (cumPX[n] - cumPX[k]) + (cumP[n]-cumP[k])*sprintCont
+}
+
+// sweepScan is the reference O(n) evaluation: the seed implementation's
+// atom-by-atom scan, retained for differential testing (Config.Kernel =
+// KernelScan). us and ps are the density's atoms, fetched once per solve.
+func sweepScan(us, ps []float64, sprintCont, vNoSprint float64) float64 {
+	e := 0.0
+	for i := range us {
+		v := us[i] + sprintCont
+		if vNoSprint > v {
+			v = vNoSprint
+		}
+		e += ps[i] * v
+	}
+	return e
+}

@@ -185,7 +185,11 @@ const tripFingerprintSamples = 17
 // SolveKey returns the canonical FNV-1a hash of a game instance: the
 // classes (name, count, density atoms) and the semantic fields of cfg.
 // Telemetry sinks (cfg.Metrics, cfg.Tracer) are deliberately excluded —
-// they do not affect the solution.
+// they do not affect the solution. cfg.Workers is likewise excluded:
+// the parallel class solver reduces deterministically in class order, so
+// every pool size produces a byte-identical Equilibrium. cfg.Kernel and
+// cfg.Accel ARE keyed — their solutions agree only within tolerance, not
+// bitwise, and differential tests rely on the paths staying distinct.
 func SolveKey(classes []AgentClass, cfg Config) uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
@@ -221,6 +225,8 @@ func SolveKey(classes []AgentClass, cfg Config) uint64 {
 	f64(cfg.FixedPointTol)
 	u64(uint64(cfg.MaxFixedPointIter))
 	f64(cfg.Damping)
+	u64(uint64(cfg.Kernel))
+	u64(uint64(cfg.Accel))
 
 	if cfg.Trip != nil {
 		nMin, nMax := cfg.Trip.Bounds()

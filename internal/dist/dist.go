@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"sprintgame/internal/stats"
 )
@@ -46,6 +47,16 @@ type Density interface {
 type Discrete struct {
 	xs []float64 // support, ascending
 	ps []float64 // probabilities, same length, sum to 1
+
+	// Prefix sums over the atoms, built lazily on first use and then
+	// shared by every reader. cumP[i] and cumPX[i] are the sums of
+	// ps[:i] and ps[j]*xs[j] for j < i (length Len()+1), so any
+	// "probability below / mass above a crossover" query is two array
+	// reads after a binary search instead of an O(n) scan. The solver's
+	// Bellman kernel evaluates Eq. (4) through these.
+	prefixOnce sync.Once
+	cumP       []float64
+	cumPX      []float64
 }
 
 // NewDiscrete constructs a Discrete PMF from values and weights. Weights
@@ -135,6 +146,49 @@ func (d *Discrete) Probs() []float64 {
 	return out
 }
 
+// prefixes returns the lazily-built cumulative sums (cumP, cumPX), each
+// of length Len()+1: cumP[i] = sum of ps[:i], cumPX[i] = sum of
+// ps[j]*xs[j] for j < i. Built exactly once per density under
+// prefixOnce; afterwards the slices are immutable, so concurrent readers
+// need no further synchronization.
+func (d *Discrete) prefixes() (cumP, cumPX []float64) {
+	d.prefixOnce.Do(func() {
+		n := len(d.xs)
+		cp := make([]float64, n+1)
+		cpx := make([]float64, n+1)
+		for i := 0; i < n; i++ {
+			cp[i+1] = cp[i] + d.ps[i]
+			cpx[i+1] = cpx[i] + d.ps[i]*d.xs[i]
+		}
+		d.cumP = cp
+		d.cumPX = cpx
+	})
+	return d.cumP, d.cumPX
+}
+
+// PrefixSums returns cumulative sums over the atoms in ascending-value
+// order: probs[i] is the total probability of the first i atoms and
+// weighted[i] the corresponding sum of p*x, both of length Len()+1.
+// The slices are built once per density, cached, and shared — callers
+// MUST NOT modify them. Safe for concurrent use.
+func (d *Discrete) PrefixSums() (probs, weighted []float64) {
+	return d.prefixes()
+}
+
+// SearchValue returns the smallest index i with the i-th atom's value
+// >= x, or Len() if every atom is below x. The support is sorted, so
+// this is a binary search: combined with PrefixSums it answers
+// split-expectation queries (mass and weighted mass on either side of a
+// crossover) in O(log n).
+func (d *Discrete) SearchValue(x float64) int {
+	return sort.SearchFloat64s(d.xs, x)
+}
+
+// searchAbove returns the smallest index i with xs[i] > x, or Len().
+func (d *Discrete) searchAbove(x float64) int {
+	return sort.Search(len(d.xs), func(i int) bool { return d.xs[i] > x })
+}
+
 // Mean returns E[X].
 func (d *Discrete) Mean() float64 {
 	m := 0.0
@@ -161,29 +215,18 @@ func (d *Discrete) Support() (lo, hi float64) { return d.xs[0], d.xs[len(d.xs)-1
 // Max returns the largest atom (the paper's umax).
 func (d *Discrete) Max() float64 { return d.xs[len(d.xs)-1] }
 
-// CDF returns P(X <= x).
+// CDF returns P(X <= x) in O(log n) via the cached prefix sums.
 func (d *Discrete) CDF(x float64) float64 {
-	c := 0.0
-	for i, v := range d.xs {
-		if v > x {
-			break
-		}
-		c += d.ps[i]
-	}
-	return c
+	cumP, _ := d.prefixes()
+	return cumP[d.searchAbove(x)]
 }
 
 // TailProb returns P(X > threshold), the paper's Eq. (9): the probability
-// an agent's utility exceeds her sprinting threshold. The result is
-// clamped to [0, 1] to guard against accumulated rounding.
+// an agent's utility exceeds her sprinting threshold, in O(log n). The
+// result is clamped to [0, 1] to guard against accumulated rounding.
 func (d *Discrete) TailProb(threshold float64) float64 {
-	p := 0.0
-	for i := len(d.xs) - 1; i >= 0; i-- {
-		if d.xs[i] <= threshold {
-			break
-		}
-		p += d.ps[i]
-	}
+	cumP, _ := d.prefixes()
+	p := cumP[len(d.xs)] - cumP[d.searchAbove(threshold)]
 	if p > 1 {
 		return 1
 	}
@@ -194,16 +237,10 @@ func (d *Discrete) TailProb(threshold float64) float64 {
 }
 
 // TailMean returns E[X · 1{X > threshold}], used when evaluating the
-// throughput contribution of sprints above a threshold.
+// throughput contribution of sprints above a threshold. O(log n).
 func (d *Discrete) TailMean(threshold float64) float64 {
-	m := 0.0
-	for i := len(d.xs) - 1; i >= 0; i-- {
-		if d.xs[i] <= threshold {
-			break
-		}
-		m += d.xs[i] * d.ps[i]
-	}
-	return m
+	_, cumPX := d.prefixes()
+	return cumPX[len(d.xs)] - cumPX[d.searchAbove(threshold)]
 }
 
 // Quantile returns the smallest atom x such that CDF(x) >= q.
@@ -211,14 +248,13 @@ func (d *Discrete) Quantile(q float64) float64 {
 	if q <= 0 {
 		return d.xs[0]
 	}
-	c := 0.0
-	for i, v := range d.xs {
-		c += d.ps[i]
-		if c >= q-1e-15 {
-			return v
-		}
+	cumP, _ := d.prefixes()
+	n := len(d.xs)
+	i := sort.SearchFloat64s(cumP[1:n+1], q-1e-15)
+	if i >= n {
+		i = n - 1
 	}
-	return d.xs[len(d.xs)-1]
+	return d.xs[i]
 }
 
 // Sample draws an atom according to its probability.

@@ -35,6 +35,11 @@ type AdaptiveThreshold struct {
 type adaptiveClass struct {
 	density   *dist.Discrete
 	threshold float64
+	// vals is the previous re-solve's solution, warm-starting the next
+	// one: the trip estimate moves by O(1/t) per epoch, so successive
+	// solves are near-identical and converge in a handful of sweeps.
+	// The zero Values cold-starts the first solve.
+	vals core.Values
 }
 
 // NewAdaptiveThreshold builds the learning policy. densities maps each
@@ -72,14 +77,15 @@ func NewAdaptiveThreshold(cfg core.Config, densities map[string]*dist.Discrete, 
 }
 
 // resolve recomputes every class's threshold against the current
-// estimate.
+// estimate, warm-starting each class's solve from its previous solution.
 func (a *AdaptiveThreshold) resolve() error {
 	for name, c := range a.classes {
-		vals, err := core.SolveBellmanFast(c.density, a.ptripEst, a.cfg)
+		vals, err := core.SolveBellmanFastWarm(c.density, a.ptripEst, a.cfg, c.vals)
 		if err != nil {
 			return fmt.Errorf("policy: adaptive resolve for %q: %w", name, err)
 		}
 		c.threshold = vals.Threshold
+		c.vals = vals
 	}
 	return nil
 }

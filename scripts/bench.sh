@@ -1,7 +1,9 @@
 #!/usr/bin/env sh
-# Benchmark baseline: run the cluster epoch-engine and solve-cache
-# benchmarks and record them as BENCH_cluster.json (one JSON object per
-# benchmark) so successive PRs can diff scaling behaviour.
+# Benchmark baselines: record the cluster epoch-engine / solve-cache
+# benchmarks as BENCH_cluster.json and the core solver benchmarks
+# (Bellman sweep kernels, cold equilibrium solves serial vs parallel) as
+# BENCH_core.json — one JSON object per benchmark — so successive PRs
+# can diff scaling behaviour and the solver's perf trajectory.
 #
 # Usage: scripts/bench.sh [benchtime]   (default 1x)
 set -eu
@@ -9,29 +11,43 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-1x}"
-OUT="BENCH_cluster.json"
+
+# json_from_bench < raw-go-bench-output > json-array
+json_from_bench() {
+	awk '
+	BEGIN { print "[" }
+	/^Benchmark/ {
+		name = $1
+		iters = $2
+		ns = $3
+		extra = ""
+		for (i = 5; i < NF; i += 2) {
+			extra = extra sprintf(", \"%s\": %s", $(i+1), $i)
+		}
+		if (n++) printf ",\n"
+		printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s%s}", name, iters, ns, extra
+	}
+	END { if (n) printf "\n"; print "]" }
+	'
+}
+
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
+# Cluster-scale benchmarks.
 go test -run '^$' -bench 'BenchmarkCluster' -benchtime "$BENCHTIME" ./internal/cluster >"$RAW"
-go test -run '^$' -bench 'BenchmarkSolveCacheHit|BenchmarkFindEquilibriumCold' \
+go test -run '^$' -bench 'BenchmarkSolveCacheHit|BenchmarkFindEquilibriumCold$' \
 	-benchtime "$BENCHTIME" ./internal/core >>"$RAW"
+json_from_bench <"$RAW" >BENCH_cluster.json
+echo "wrote BENCH_cluster.json:"
+cat BENCH_cluster.json
 
-awk '
-BEGIN { print "[" }
-/^Benchmark/ {
-	name = $1
-	iters = $2
-	ns = $3
-	extra = ""
-	for (i = 5; i < NF; i += 2) {
-		extra = extra sprintf(", \"%s\": %s", $(i+1), $i)
-	}
-	if (n++) printf ",\n"
-	printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s%s}", name, iters, ns, extra
-}
-END { if (n) printf "\n"; print "]" }
-' "$RAW" >"$OUT"
-
-echo "wrote $OUT:"
-cat "$OUT"
+# Core solver benchmarks: sweep kernels (reference scan vs O(log n)
+# crossover, small/large densities) and cold Algorithm 1 runs (serial vs
+# parallel, 1/4/8 classes).
+go test -run '^$' \
+	-bench 'BenchmarkSolveBellman$|BenchmarkSolveBellmanKernel|BenchmarkFindEquilibriumCold' \
+	-benchtime "$BENCHTIME" ./internal/core >"$RAW"
+json_from_bench <"$RAW" >BENCH_core.json
+echo "wrote BENCH_core.json:"
+cat BENCH_core.json

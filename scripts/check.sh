@@ -21,8 +21,13 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
-# Quick signal first: the cluster engine is the most concurrency-heavy
-# package, so its short-mode race pass runs before the full suite.
+# Quick signal first: the solver's differential tests (new parallel
+# class pool + lazily-built density prefix sums) and the cluster engine
+# are the most concurrency-sensitive paths, so their short-mode race
+# passes run before the full suite.
+echo "== go test -race -short -run 'Differential|Parallel|Warm|Kernel|Aitken|Prefix' ./internal/core ./internal/dist"
+go test -race -short -run 'Differential|Parallel|Warm|Kernel|Aitken|Prefix' ./internal/core ./internal/dist
+
 echo "== go test -race -short ./internal/cluster/..."
 go test -race -short ./internal/cluster/...
 
