@@ -38,6 +38,10 @@ func main() {
 		polName   = flag.String("policy", "equilibrium", "greedy | backoff | equilibrium | never")
 		seed      = flag.Uint64("seed", 1, "cluster base seed (per-rack seeds are derived)")
 		cacheSize = flag.Int("cache-size", 0, "equilibrium solve-cache capacity (0 = default)")
+		faultSpec = flag.String("faults", "", "inject rack faults: a kill rate in [0,1] (\"0.2\") or rack@epoch pairs (\"3@100,7@250\")")
+		transient = flag.Bool("fault-transient", false, "injected faults are transient: retried attempts run clean")
+		retries   = flag.Int("max-retries", 0, "retry attempts per restartable rack failure")
+		partial   = flag.Bool("allow-partial", false, "aggregate surviving racks when some racks fail instead of erroring")
 		traceOut  = flag.String("trace", "", "write cluster.epoch/cluster.rack JSONL events to this file ('-' for stdout)")
 		metricsTo = flag.String("metrics", "", "write the final metrics registry as JSON to this file ('-' for stdout)")
 		debugAddr = flag.String("debug-addr", "", "serve the debug endpoint (/metrics, /debug/pprof, /debug/vars) on this address while running")
@@ -107,22 +111,44 @@ func main() {
 		fatal(err)
 	}
 
+	var faults *cluster.FaultPlan
+	if *faultSpec != "" {
+		faults, err = cluster.ParseFaultPlan(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		faults.Transient = *transient
+	}
+
 	res, err := cluster.Run(cluster.Config{
-		Racks:    specs,
-		Epochs:   *epochs,
-		BaseSeed: *seed,
-		Game:     game,
-		Workers:  *workers,
-		Policy:   factory,
-		Metrics:  metrics,
-		Tracer:   tracer,
+		Racks:        specs,
+		Epochs:       *epochs,
+		BaseSeed:     *seed,
+		Game:         game,
+		Workers:      *workers,
+		Policy:       factory,
+		Metrics:      metrics,
+		Tracer:       tracer,
+		Faults:       faults,
+		AllowPartial: *partial,
+		MaxRetries:   *retries,
 	})
 	if err != nil {
 		fatal(err)
 	}
 
 	fmt.Printf("cluster: %d racks x %d chips x %d epochs, policy=%s, workers=%d (NumCPU=%d)\n",
-		len(res.Racks), game.N, res.Epochs, *polName, res.Workers, runtime.NumCPU())
+		len(res.Racks)+len(res.Failed), game.N, res.Epochs, *polName, res.Workers, runtime.NumCPU())
+	if len(res.Failed) > 0 {
+		fmt.Printf("DEGRADED: %d/%d racks failed; aggregates cover the %d survivors only\n",
+			len(res.Failed), len(res.Racks)+len(res.Failed), len(res.Racks))
+		for _, f := range res.Failed {
+			fmt.Printf("  %-8s failed: %v\n", f.Name, f.Err)
+		}
+	}
+	if res.Retries > 0 {
+		fmt.Printf("retries: %d rack attempts were restarted\n", res.Retries)
+	}
 	fmt.Printf("task rate: %.3f units/agent-epoch (normal mode = 1.0), total %.0f units\n",
 		res.TaskRate, res.TotalUnits)
 	fmt.Printf("power emergencies: %d (%.4f per rack-epoch)\n", res.Trips, res.TripsPerRackEpoch)

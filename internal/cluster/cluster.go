@@ -27,6 +27,18 @@
 // Consequently rack i of a cluster run reproduces exactly the results
 // of a standalone sim.Run with the same sim.Config — verified by
 // TestClusterMatchesStandaloneRacks.
+//
+// # Fault injection and graceful degradation
+//
+// Real datacenters lose racks mid-run. A FaultPlan (seeded from
+// Config.BaseSeed, independent of Workers) kills selected racks at
+// chosen epochs; a killed rack returns its partial series inside a
+// typed RackError. Restartable failures are retried up to
+// Config.MaxRetries times with backoff, each attempt on a fresh derived
+// RNG stream. With Config.AllowPartial the run degrades gracefully:
+// aggregates cover surviving racks only and Result.Failed reports every
+// failure; without it, Run joins every rack error via errors.Join so no
+// failure is swallowed. The determinism contract survives both modes.
 package cluster
 
 import (
@@ -34,6 +46,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"sprintgame/internal/core"
 	"sprintgame/internal/policy"
@@ -89,10 +102,39 @@ type Config struct {
 	// cluster.rack_epochs, cluster.trips, cluster.task_rate, ...).
 	Metrics *telemetry.Registry
 	// Tracer, when non-nil, receives per-epoch cluster.epoch events,
-	// per-rack cluster.rack events, and a final cluster.done event,
-	// emitted deterministically after the run.
+	// per-rack cluster.rack events, cluster.rack_failed events for any
+	// failed racks, and a final cluster.done event, emitted
+	// deterministically after the run.
 	Tracer *telemetry.Tracer
+	// Faults, when active, deterministically kills selected racks
+	// mid-run (see FaultPlan). The schedule depends only on BaseSeed,
+	// never on Workers.
+	Faults *FaultPlan
+	// AllowPartial degrades gracefully when racks fail: the run
+	// aggregates surviving racks only and reports every failure in
+	// Result.Failed instead of returning an error. A run in which every
+	// rack fails still errors — there is nothing to aggregate.
+	AllowPartial bool
+	// MaxRetries bounds retry attempts per rack for restartable
+	// failures (mid-run interrupts, e.g. transient injected faults).
+	// Each attempt runs on a fresh RNG stream derived from the rack's
+	// seed and the attempt number, so reruns are byte-identical.
+	// Non-restartable failures (policy construction, configuration) are
+	// never retried.
+	MaxRetries int
+	// RetryBackoff is the sleep before the first retry, doubling per
+	// subsequent attempt (capped at 1s). Zero selects
+	// DefaultRetryBackoff; negative disables backoff entirely. Backoff
+	// affects wall-clock only, never results.
+	RetryBackoff time.Duration
 }
+
+// DefaultRetryBackoff is the base retry delay when Config.RetryBackoff
+// is zero.
+const DefaultRetryBackoff = 10 * time.Millisecond
+
+// maxRetryBackoff caps the doubling retry delay.
+const maxRetryBackoff = time.Second
 
 // Validate checks the cluster configuration (policy presence and rack
 // shapes; per-rack game validation happens in sim.Run).
@@ -106,9 +148,17 @@ func (c Config) Validate() error {
 	if c.Policy == nil {
 		return errors.New("cluster: nil policy factory")
 	}
+	if c.MaxRetries < 0 {
+		return errors.New("cluster: negative MaxRetries")
+	}
 	for i, spec := range c.Racks {
 		if len(spec.Groups) == 0 {
 			return fmt.Errorf("cluster: rack %d has no agent groups", i)
+		}
+	}
+	if c.Faults != nil {
+		if err := c.Faults.validate(len(c.Racks), c.Epochs); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -116,10 +166,17 @@ func (c Config) Validate() error {
 
 // RackResult is one rack's outcome within a cluster run.
 type RackResult struct {
+	// Rack is the rack's index in Config.Racks. With AllowPartial the
+	// survivor list can be sparse, so the index is not the position in
+	// Result.Racks.
+	Rack int
 	// Name is the rack's label.
 	Name string
-	// Seed is the seed the rack actually ran with.
+	// Seed is the seed the successful attempt actually ran with (a
+	// derived retry seed when Attempts > 1).
 	Seed uint64
+	// Attempts is the number of attempts the rack took (1 = no retry).
+	Attempts int
 	// Agents is the rack's chip count.
 	Agents int
 	// Sim is the rack's full simulation result.
@@ -135,11 +192,21 @@ type SprinterDist struct {
 
 // Result is a completed cluster run.
 type Result struct {
-	// Racks holds per-rack results in input order.
+	// Racks holds surviving racks' results in input order. Without
+	// failures it covers every rack; with Config.AllowPartial it can be
+	// a strict subset (see Failed).
 	Racks []RackResult
+	// Failed lists failed racks in rack-index order. It is non-empty
+	// only with Config.AllowPartial (otherwise Run returns the joined
+	// errors instead of a Result). All aggregate fields below cover
+	// surviving racks only.
+	Failed []RackError
+	// Retries is the total number of retry attempts across all racks,
+	// including retries that ultimately recovered the rack.
+	Retries int
 	// Epochs is the per-rack epoch count.
 	Epochs int
-	// Agents is the total chip count across racks.
+	// Agents is the total chip count across surviving racks.
 	Agents int
 	// Workers is the worker-pool size the run used.
 	Workers int
@@ -157,6 +224,19 @@ type Result struct {
 	// Sprinters is the cross-rack distribution of per-rack mean
 	// sprinters per epoch.
 	Sprinters SprinterDist
+}
+
+// FailureErr joins every failed rack's error (nil when no rack
+// failed), mirroring what Run returns when AllowPartial is off.
+func (r *Result) FailureErr() error {
+	if len(r.Failed) == 0 {
+		return nil
+	}
+	errs := make([]error, len(r.Failed))
+	for i := range r.Failed {
+		errs[i] = &r.Failed[i]
+	}
+	return errors.Join(errs...)
 }
 
 // mixSeed derives rack i's seed from the cluster base seed with a
@@ -195,9 +275,104 @@ func (c Config) rackConfig(i int) sim.Config {
 	}
 }
 
+// rackOutcome is one rack's terminal state: exactly one of res and err
+// is non-nil.
+type rackOutcome struct {
+	seed     uint64
+	attempts int
+	res      *sim.Result
+	err      *RackError
+}
+
+// rackName resolves rack i's label.
+func (c Config) rackName(i int) string {
+	if name := c.Racks[i].Name; name != "" {
+		return name
+	}
+	return fmt.Sprintf("rack%d", i)
+}
+
+// retryDelay is the backoff before retry attempt k (k >= 1).
+func (c Config) retryDelay(attempt int) time.Duration {
+	base := c.RetryBackoff
+	switch {
+	case base < 0:
+		return 0
+	case base == 0:
+		base = DefaultRetryBackoff
+	}
+	d := base << (attempt - 1)
+	if d > maxRetryBackoff || d < base {
+		d = maxRetryBackoff
+	}
+	return d
+}
+
+// runRack runs rack i to its terminal outcome: up to 1+MaxRetries
+// attempts, each on its own derived RNG stream, with killEpoch >= 0
+// injecting a FaultPlan kill. Everything here is a pure function of
+// the configuration and the rack index, so outcomes are identical for
+// every worker count.
+func (c Config) runRack(i, killEpoch int) rackOutcome {
+	baseCfg := c.rackConfig(i)
+	name := c.rackName(i)
+	var last *RackError
+	for attempt := 1; attempt <= 1+c.MaxRetries; attempt++ {
+		simCfg := baseCfg
+		if attempt > 1 {
+			// Fresh stream per attempt: a retried rack must not replay
+			// the doomed attempt's draws.
+			simCfg.Seed = retrySeed(baseCfg.Seed, attempt-1)
+		}
+		if killEpoch >= 0 && (attempt == 1 || !c.Faults.Transient) {
+			fault := &RackFault{Rack: i, Epoch: killEpoch}
+			simCfg.Interrupt = func(epoch int) error {
+				if epoch == fault.Epoch {
+					return fault
+				}
+				return nil
+			}
+		} else {
+			simCfg.Interrupt = nil
+		}
+		pol, err := c.Policy(i, c.Racks[i], simCfg)
+		if err != nil {
+			// Policy construction failures are not restartable.
+			return rackOutcome{seed: simCfg.Seed, attempts: attempt, err: &RackError{
+				Rack: i, Name: name, Epoch: -1, Attempts: attempt,
+				Err: fmt.Errorf("policy: %w", err),
+			}}
+		}
+		res, err := sim.Run(simCfg, pol)
+		if err == nil {
+			return rackOutcome{seed: simCfg.Seed, attempts: attempt, res: res}
+		}
+		last = &RackError{Rack: i, Name: name, Epoch: -1, Attempts: attempt, Err: err}
+		var ie *sim.InterruptError
+		if !errors.As(err, &ie) {
+			// Configuration/validation failures are not restartable.
+			return rackOutcome{seed: simCfg.Seed, attempts: attempt, err: last}
+		}
+		last.Epoch = ie.Epoch
+		last.Partial = res
+		if attempt <= c.MaxRetries {
+			if d := c.retryDelay(attempt); d > 0 {
+				time.Sleep(d)
+			}
+		}
+	}
+	return rackOutcome{seed: baseCfg.Seed, attempts: last.Attempts, err: last}
+}
+
 // Run simulates every rack and aggregates the cluster outcome. Racks
 // are distributed over a pool of Workers goroutines; the result (and
-// any trace) is identical for every pool size.
+// any trace) is identical for every pool size, with or without an
+// active FaultPlan.
+//
+// When racks fail: without AllowPartial, Run returns every rack error
+// joined via errors.Join; with AllowPartial it aggregates the
+// survivors and reports failures in Result.Failed, erroring only when
+// no rack survived.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -210,9 +385,11 @@ func Run(cfg Config) (*Result, error) {
 		workers = len(cfg.Racks)
 	}
 
-	results := make([]*sim.Result, len(cfg.Racks))
-	seeds := make([]uint64, len(cfg.Racks))
-	errs := make([]error, len(cfg.Racks))
+	var kills []int
+	if cfg.Faults.Active() {
+		kills = cfg.Faults.schedule(cfg.BaseSeed, len(cfg.Racks), cfg.Epochs)
+	}
+	outcomes := make([]rackOutcome, len(cfg.Racks))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -220,19 +397,11 @@ func Run(cfg Config) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				simCfg := cfg.rackConfig(i)
-				seeds[i] = simCfg.Seed
-				pol, err := cfg.Policy(i, cfg.Racks[i], simCfg)
-				if err != nil {
-					errs[i] = fmt.Errorf("cluster: rack %d policy: %w", i, err)
-					continue
+				kill := -1
+				if kills != nil {
+					kill = kills[i]
 				}
-				res, err := sim.Run(simCfg, pol)
-				if err != nil {
-					errs[i] = fmt.Errorf("cluster: rack %d: %w", i, err)
-					continue
-				}
-				results[i] = res
+				outcomes[i] = cfg.runRack(i, kill)
 			}
 		}()
 	}
@@ -241,36 +410,64 @@ func Run(cfg Config) (*Result, error) {
 	}
 	close(jobs)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+
+	var failed []RackError
+	retries := 0
+	for i := range outcomes {
+		retries += outcomes[i].attempts - 1
+		if outcomes[i].err != nil {
+			failed = append(failed, *outcomes[i].err)
+		}
+	}
+	emitFaults(cfg, failed, retries)
+	if len(failed) > 0 {
+		if !cfg.AllowPartial {
+			errs := make([]error, len(failed))
+			for i := range failed {
+				errs[i] = &failed[i]
+			}
+			return nil, errors.Join(errs...)
+		}
+		if len(failed) == len(cfg.Racks) {
+			errs := make([]error, len(failed))
+			for i := range failed {
+				errs[i] = &failed[i]
+			}
+			return nil, fmt.Errorf("cluster: all %d racks failed: %w", len(failed), errors.Join(errs...))
 		}
 	}
 
-	return aggregate(cfg, workers, seeds, results), nil
+	return aggregate(cfg, workers, outcomes, failed, retries), nil
 }
 
-// aggregate folds rack results into the cluster result and emits
-// cluster telemetry, all in deterministic rack-index order.
-func aggregate(cfg Config, workers int, seeds []uint64, results []*sim.Result) *Result {
+// aggregate folds surviving rack results into the cluster result and
+// emits cluster telemetry, all in deterministic rack-index order.
+// Failed racks (AllowPartial) are excluded from every aggregate.
+func aggregate(cfg Config, workers int, outcomes []rackOutcome, failed []RackError, retries int) *Result {
 	out := &Result{
-		Racks:   make([]RackResult, len(results)),
+		Racks:   make([]RackResult, 0, len(outcomes)-len(failed)),
+		Failed:  failed,
+		Retries: retries,
 		Epochs:  cfg.Epochs,
 		Workers: workers,
 	}
 	epochs := float64(cfg.Epochs)
 	var unitWeighted sim.StateShares
-	meanSprinters := make([]float64, len(results))
-	for i, res := range results {
+	meanSprinters := make([]float64, 0, cap(out.Racks))
+	for i := range outcomes {
+		oc := &outcomes[i]
+		if oc.err != nil {
+			continue
+		}
+		res := oc.res
 		agents := 0
 		for _, g := range cfg.Racks[i].Groups {
 			agents += g.Count
 		}
-		name := cfg.Racks[i].Name
-		if name == "" {
-			name = fmt.Sprintf("rack%d", i)
-		}
-		out.Racks[i] = RackResult{Name: name, Seed: seeds[i], Agents: agents, Sim: res}
+		out.Racks = append(out.Racks, RackResult{
+			Rack: i, Name: cfg.rackName(i), Seed: oc.seed,
+			Attempts: oc.attempts, Agents: agents, Sim: res,
+		})
 		out.Agents += agents
 		out.Trips += res.Trips
 		agentEpochs := float64(agents) * epochs
@@ -281,11 +478,11 @@ func aggregate(cfg Config, workers int, seeds []uint64, results []*sim.Result) *
 		unitWeighted.Recovery += res.Shares.Recovery * agentEpochs
 		// Sprinting share is the fraction of agent-epochs spent
 		// sprinting, so share * N is the rack's mean sprinters per epoch.
-		meanSprinters[i] = res.Shares.Sprinting * float64(agents)
+		meanSprinters = append(meanSprinters, res.Shares.Sprinting*float64(agents))
 	}
 	allAgentEpochs := float64(out.Agents) * epochs
 	out.TaskRate = out.TotalUnits / allAgentEpochs
-	out.TripsPerRackEpoch = float64(out.Trips) / (float64(len(results)) * epochs)
+	out.TripsPerRackEpoch = float64(out.Trips) / (float64(len(out.Racks)) * epochs)
 	out.Shares = sim.StateShares{
 		Sprinting:  unitWeighted.Sprinting / allAgentEpochs,
 		ActiveIdle: unitWeighted.ActiveIdle / allAgentEpochs,
@@ -302,6 +499,32 @@ func aggregate(cfg Config, workers int, seeds []uint64, results []*sim.Result) *
 	emitMetrics(cfg, out)
 	emitTrace(cfg, out)
 	return out
+}
+
+// emitFaults reports failures and retries to the cluster's telemetry
+// sinks in deterministic rack-index order. It runs on every Run exit
+// path — degraded aggregation and error returns alike — so no rack
+// failure is ever swallowed silently.
+func emitFaults(cfg Config, failed []RackError, retries int) {
+	if len(failed) == 0 && retries == 0 {
+		return
+	}
+	if m := cfg.Metrics; m != nil {
+		m.Counter("cluster.rack_failures").Add(int64(len(failed)))
+		m.Counter("cluster.retries").Add(int64(retries))
+	}
+	if t := cfg.Tracer; t.Enabled() {
+		for i := range failed {
+			f := &failed[i]
+			t.Emit("cluster.rack_failed", telemetry.Fields{
+				"rack":     f.Rack,
+				"name":     f.Name,
+				"epoch":    f.Epoch,
+				"attempts": f.Attempts,
+				"error":    f.Err.Error(),
+			})
+		}
+	}
 }
 
 // rackRateBuckets spans degraded racks (rate < 1) to strong sprinting
@@ -345,11 +568,12 @@ func emitTrace(cfg Config, out *Result) {
 			"recovering": recovering,
 		})
 	}
-	for i, r := range out.Racks {
+	for _, r := range out.Racks {
 		t.Emit("cluster.rack", telemetry.Fields{
-			"rack":      i,
+			"rack":      r.Rack,
 			"name":      r.Name,
 			"seed":      r.Seed,
+			"attempts":  r.Attempts,
 			"agents":    r.Agents,
 			"policy":    r.Sim.Policy,
 			"task_rate": r.Sim.TaskRate,
@@ -360,6 +584,8 @@ func emitTrace(cfg Config, out *Result) {
 	// byte-identical for every Config.Workers value.
 	t.Emit("cluster.done", telemetry.Fields{
 		"racks":                len(out.Racks),
+		"failed":               len(out.Failed),
+		"retries":              out.Retries,
 		"epochs":               out.Epochs,
 		"agents":               out.Agents,
 		"task_rate":            out.TaskRate,

@@ -1,0 +1,336 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"sprintgame/internal/policy"
+	"sprintgame/internal/sim"
+	"sprintgame/internal/telemetry"
+)
+
+func TestFaultPlanSchedule(t *testing.T) {
+	var nilPlan *FaultPlan
+	if nilPlan.Active() {
+		t.Error("nil plan must be inactive")
+	}
+	none := (&FaultPlan{}).schedule(7, 4, 100)
+	for i, e := range none {
+		if e != -1 {
+			t.Errorf("inactive plan killed rack %d at %d", i, e)
+		}
+	}
+
+	plan := &FaultPlan{Rate: 0.5, Kills: map[int]int{2: 33}}
+	a := plan.schedule(7, 16, 100)
+	b := plan.schedule(7, 16, 100)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("schedule is not deterministic for a fixed base seed")
+	}
+	if a[2] != 33 {
+		t.Errorf("explicit kill overridden: rack 2 dies at %d, want 33", a[2])
+	}
+	killed := 0
+	for i, e := range a {
+		if e < -1 || e >= 100 {
+			t.Errorf("rack %d kill epoch %d out of range", i, e)
+		}
+		if e >= 0 {
+			killed++
+		}
+	}
+	if killed == 0 || killed == 16 {
+		t.Errorf("rate 0.5 over 16 racks killed %d, want a mixed outcome", killed)
+	}
+	if c := plan.schedule(8, 16, 100); reflect.DeepEqual(a, c) {
+		t.Error("different base seeds produced the same rate-driven schedule")
+	}
+}
+
+func TestParseFaultPlan(t *testing.T) {
+	plan, err := ParseFaultPlan("0.25")
+	if err != nil || plan.Rate != 0.25 || len(plan.Kills) != 0 {
+		t.Errorf("rate spec: %+v, %v", plan, err)
+	}
+	plan, err = ParseFaultPlan("3@100, 7@250")
+	if err != nil || plan.Rate != 0 || plan.Kills[3] != 100 || plan.Kills[7] != 250 {
+		t.Errorf("pair spec: %+v, %v", plan, err)
+	}
+	for _, bad := range []string{"", "1.5", "-0.1", "x", "3@", "@5", "3@x", "3-5"} {
+		if _, err := ParseFaultPlan(bad); err == nil {
+			t.Errorf("spec %q should fail to parse", bad)
+		}
+	}
+}
+
+func TestClusterFaultValidation(t *testing.T) {
+	good := testCluster(t, 4, 16, 50)
+	cases := []struct {
+		name string
+		mod  func(*Config)
+	}{
+		{"rate > 1", func(c *Config) { c.Faults = &FaultPlan{Rate: 1.5} }},
+		{"negative rate", func(c *Config) { c.Faults = &FaultPlan{Rate: -0.1} }},
+		{"rack out of range", func(c *Config) { c.Faults = &FaultPlan{Kills: map[int]int{9: 5}} }},
+		{"epoch out of range", func(c *Config) { c.Faults = &FaultPlan{Kills: map[int]int{0: 50}} }},
+		{"negative retries", func(c *Config) { c.MaxRetries = -1 }},
+	}
+	for _, tc := range cases {
+		cfg := good
+		tc.mod(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestClusterFaultFailFastJoinsAllErrors(t *testing.T) {
+	cfg := testCluster(t, 4, 16, 50)
+	cfg.Faults = &FaultPlan{Kills: map[int]int{1: 10, 3: 20}}
+	res, err := Run(cfg)
+	if res != nil || err == nil {
+		t.Fatalf("want nil result + error, got %v, %v", res, err)
+	}
+	// Every failed rack must be reported, not just the first.
+	for _, want := range []string{"rack 1", "rack 3"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error %q misses %q", err, want)
+		}
+	}
+	var re *RackError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v does not expose *RackError", err)
+	}
+	var rf *RackFault
+	if !errors.As(err, &rf) {
+		t.Error("error chain must reach the injected *RackFault")
+	}
+}
+
+func TestClusterFaultAllowPartialAggregatesSurvivors(t *testing.T) {
+	cfg := testCluster(t, 4, 16, 50)
+	cfg.RecordSeries = true
+	cfg.Faults = &FaultPlan{Kills: map[int]int{2: 10}}
+	cfg.AllowPartial = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failed) != 1 || len(res.Racks) != 3 {
+		t.Fatalf("failed=%d survivors=%d, want 1/3", len(res.Failed), len(res.Racks))
+	}
+	f := res.Failed[0]
+	if f.Rack != 2 || f.Epoch != 10 || f.Attempts != 1 {
+		t.Errorf("rack error = %+v, want rack 2 at epoch 10, attempt 1", f)
+	}
+	if f.Partial == nil || f.Partial.Epochs != 10 || len(f.Partial.SprintersPerEpoch) != 10 {
+		t.Errorf("partial result missing or wrong length: %+v", f.Partial)
+	}
+	for _, r := range res.Racks {
+		if r.Rack == 2 {
+			t.Error("failed rack leaked into the survivor list")
+		}
+	}
+	// Aggregates must cover exactly the three survivors.
+	if res.Agents != 3*16 {
+		t.Errorf("agents = %d, want 48", res.Agents)
+	}
+	trips, units := 0, 0.0
+	for _, r := range res.Racks {
+		trips += r.Sim.Trips
+		units += r.Sim.TaskRate * float64(r.Agents) * float64(res.Epochs)
+	}
+	if trips != res.Trips {
+		t.Errorf("trips = %d, survivor sum = %d", res.Trips, trips)
+	}
+	if diff := res.TotalUnits - units; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("total units = %v, survivor sum = %v", res.TotalUnits, units)
+	}
+	if want := float64(trips) / float64(3*res.Epochs); res.TripsPerRackEpoch != want {
+		t.Errorf("trips/rack-epoch = %v, want %v over survivors", res.TripsPerRackEpoch, want)
+	}
+	if res.FailureErr() == nil || !strings.Contains(res.FailureErr().Error(), "rack 2") {
+		t.Errorf("FailureErr = %v, want rack 2 reported", res.FailureErr())
+	}
+}
+
+func TestClusterFaultTransientRetryRecovers(t *testing.T) {
+	cfg := testCluster(t, 3, 16, 50)
+	cfg.Faults = &FaultPlan{Kills: map[int]int{0: 5}, Transient: true}
+	cfg.MaxRetries = 2
+	cfg.RetryBackoff = -1
+	metrics := telemetry.NewRegistry()
+	cfg.Metrics = metrics
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failed) != 0 {
+		t.Fatalf("transient fault with retries must recover, failed: %+v", res.Failed)
+	}
+	r0 := res.Racks[0]
+	if r0.Rack != 0 || r0.Attempts != 2 {
+		t.Fatalf("rack 0 = %+v, want attempts 2", r0)
+	}
+	// The retry runs on a fresh derived stream, and the recorded seed is
+	// the one the successful attempt actually used.
+	base := cfg.rackConfig(0).Seed
+	if r0.Seed != retrySeed(base, 1) {
+		t.Errorf("retry seed = %d, want retrySeed(%d, 1) = %d", r0.Seed, base, retrySeed(base, 1))
+	}
+	if r0.Sim.Epochs != cfg.Epochs {
+		t.Errorf("recovered rack ran %d epochs, want %d", r0.Sim.Epochs, cfg.Epochs)
+	}
+	if res.Retries != 1 {
+		t.Errorf("retries = %d, want 1", res.Retries)
+	}
+	if got := metrics.Counter("cluster.retries").Value(); got != 1 {
+		t.Errorf("cluster.retries = %d, want 1", got)
+	}
+	if got := metrics.Counter("cluster.rack_failures").Value(); got != 0 {
+		t.Errorf("cluster.rack_failures = %d, want 0", got)
+	}
+}
+
+func TestClusterFaultRetriesExhausted(t *testing.T) {
+	cfg := testCluster(t, 3, 16, 50)
+	cfg.Faults = &FaultPlan{Kills: map[int]int{0: 5}} // permanent: re-fires every attempt
+	cfg.MaxRetries = 2
+	cfg.RetryBackoff = -1
+	cfg.AllowPartial = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failed) != 1 {
+		t.Fatalf("failed = %+v, want rack 0", res.Failed)
+	}
+	f := res.Failed[0]
+	if f.Rack != 0 || f.Attempts != 3 || f.Epoch != 5 {
+		t.Errorf("rack error = %+v, want rack 0, 3 attempts, epoch 5", f)
+	}
+	if res.Retries != 2 {
+		t.Errorf("retries = %d, want 2", res.Retries)
+	}
+}
+
+func TestClusterFaultPolicyFactoryFailure(t *testing.T) {
+	base := testCluster(t, 3, 16, 50)
+	base.Policy = func(rack int, spec RackSpec, simCfg sim.Config) (policy.Policy, error) {
+		if rack == 1 {
+			return nil, errors.New("no such strategy")
+		}
+		return policy.NewGreedy(0), nil
+	}
+	base.MaxRetries = 3 // must not retry a non-restartable failure
+	base.RetryBackoff = -1
+
+	cfg := base
+	_, err := Run(cfg)
+	if err == nil || !strings.Contains(err.Error(), "rack 1") || !strings.Contains(err.Error(), "policy") {
+		t.Errorf("fail-fast policy error = %v, want rack 1 policy failure", err)
+	}
+
+	cfg = base
+	cfg.AllowPartial = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failed) != 1 || res.Failed[0].Rack != 1 {
+		t.Fatalf("failed = %+v, want rack 1", res.Failed)
+	}
+	f := res.Failed[0]
+	if f.Epoch != -1 || f.Attempts != 1 || f.Partial != nil {
+		t.Errorf("policy failure = %+v, want epoch -1, 1 attempt, no partial", f)
+	}
+	if len(res.Racks) != 2 || res.Retries != 0 {
+		t.Errorf("survivors = %d retries = %d, want 2 and 0", len(res.Racks), res.Retries)
+	}
+}
+
+func TestClusterFaultAllRacksFailErrors(t *testing.T) {
+	cfg := testCluster(t, 3, 16, 50)
+	cfg.Faults = &FaultPlan{Kills: map[int]int{0: 1, 1: 2, 2: 3}}
+	cfg.AllowPartial = true
+	res, err := Run(cfg)
+	if res != nil || err == nil || !strings.Contains(err.Error(), "all 3 racks failed") {
+		t.Errorf("all-failed run: res=%v err=%v", res, err)
+	}
+}
+
+func TestClusterFaultTelemetry(t *testing.T) {
+	cfg := testCluster(t, 4, 16, 40)
+	cfg.Faults = &FaultPlan{Kills: map[int]int{1: 7}}
+	cfg.AllowPartial = true
+	metrics := telemetry.NewRegistry()
+	var trace bytes.Buffer
+	cfg.Metrics = metrics
+	cfg.Tracer = telemetry.NewTracer(&trace)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metrics.Counter("cluster.rack_failures").Value(); got != 1 {
+		t.Errorf("cluster.rack_failures = %d, want 1", got)
+	}
+	if got := metrics.Counter("cluster.racks").Value(); got != int64(len(res.Racks)) {
+		t.Errorf("cluster.racks = %d, want %d survivors", got, len(res.Racks))
+	}
+	out := trace.String()
+	if n := strings.Count(out, `"event":"cluster.rack_failed"`); n != 1 {
+		t.Errorf("cluster.rack_failed events = %d, want 1", n)
+	}
+	if !strings.Contains(out, `"rack":1`) || !strings.Contains(out, "injected fault") {
+		t.Error("cluster.rack_failed event misses the rack index or cause")
+	}
+	if !strings.Contains(out, `"failed":1`) {
+		t.Error("cluster.done must report the failed-rack count")
+	}
+	if n := strings.Count(out, `"event":"cluster.rack"`); n != len(res.Racks) {
+		t.Errorf("cluster.rack events = %d, want %d (survivors only)", n, len(res.Racks))
+	}
+}
+
+// TestClusterFaultDeterministicAcrossWorkerCounts is the acceptance
+// gate: an active FaultPlan with retries and degraded aggregation must
+// produce byte-identical results and traces for every pool size.
+func TestClusterFaultDeterministicAcrossWorkerCounts(t *testing.T) {
+	base := testCluster(t, 8, 16, 120, "decision", "pagerank")
+	base.Faults = &FaultPlan{Rate: 0.4, Kills: map[int]int{5: 60}}
+	base.AllowPartial = true
+	base.MaxRetries = 1
+	base.RetryBackoff = -1
+
+	run := func(workers int) (*Result, []byte) {
+		cfg := base
+		cfg.Workers = workers
+		var trace bytes.Buffer
+		cfg.Tracer = telemetry.NewTracer(&trace)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, trace.Bytes()
+	}
+
+	ref, refTrace := run(1)
+	if len(ref.Failed) == 0 || len(ref.Racks) == 0 {
+		t.Fatalf("want a mixed outcome to exercise degraded aggregation: %d failed, %d survived",
+			len(ref.Failed), len(ref.Racks))
+	}
+	for _, workers := range []int{4, runtime.NumCPU()} {
+		res, trace := run(workers)
+		res.Workers = ref.Workers // the pool size is the only allowed difference
+		if !reflect.DeepEqual(ref, res) {
+			t.Errorf("workers=%d: result diverges from workers=1", workers)
+		}
+		if !bytes.Equal(refTrace, trace) {
+			t.Errorf("workers=%d: trace diverges from workers=1", workers)
+		}
+	}
+}

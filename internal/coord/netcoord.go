@@ -33,8 +33,11 @@ type response struct {
 	Error string `json:"error,omitempty"`
 	// Strategies answers a "strategies" request.
 	Strategies map[string]Strategy `json:"strategies,omitempty"`
-	// Ptrip is the equilibrium tripping probability.
-	Ptrip float64 `json:"ptrip,omitempty"`
+	// Ptrip is the equilibrium tripping probability. It must not be
+	// omitempty: an equilibrium Ptrip of exactly 0 is legitimate (e.g.
+	// thresholds that never overload the breaker) and dropping it from
+	// the wire would decode as "absent" on the client.
+	Ptrip float64 `json:"ptrip"`
 }
 
 // DefaultConnTimeout is the server's default per-connection idle
@@ -128,19 +131,37 @@ func (s *Server) Close() error {
 	return err
 }
 
+// Accept-error backoff bounds: persistent Accept failures (e.g. EMFILE
+// when the process is out of file descriptors) must not hot-spin the
+// accept loop; the delay doubles from min to max and resets on the
+// next successful accept.
+const (
+	acceptBackoffMin = 5 * time.Millisecond
+	acceptBackoffMax = time.Second
+)
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	var backoff time.Duration
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
 			s.mu.Lock()
 			done := s.closed
 			s.mu.Unlock()
-			if done {
+			if done || errors.Is(err, net.ErrClosed) {
 				return
 			}
+			s.metrics.Counter("coord.accept_errors").Inc()
+			if backoff == 0 {
+				backoff = acceptBackoffMin
+			} else if backoff *= 2; backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			time.Sleep(backoff)
 			continue
 		}
+		backoff = 0
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -153,11 +174,14 @@ func (s *Server) acceptLoop() {
 // equilibrium solves.
 var requestLatencyBuckets = telemetry.ExponentialBuckets(1e-4, 10, 7)
 
+// maxRequestLine bounds one request line on the wire.
+const maxRequestLine = 1 << 20
+
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
 	s.metrics.Counter("coord.connections").Inc()
 	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	scanner.Buffer(make([]byte, 0, 64*1024), maxRequestLine)
 	enc := json.NewEncoder(conn)
 	for {
 		if s.timeout > 0 {
@@ -166,8 +190,20 @@ func (s *Server) handle(conn net.Conn) {
 		if !scanner.Scan() {
 			if err := scanner.Err(); err != nil {
 				var ne net.Error
-				if errors.As(err, &ne) && ne.Timeout() {
+				switch {
+				case errors.As(err, &ne) && ne.Timeout():
 					s.metrics.Counter("coord.conn_timeouts").Inc()
+				case errors.Is(err, bufio.ErrTooLong):
+					// The scanner cannot resynchronize mid-line, so tell
+					// the client why before dropping the connection
+					// instead of dying silently.
+					s.metrics.Counter("coord.oversized_requests").Inc()
+					s.metrics.Counter("coord.request_errors").Inc()
+					if s.timeout > 0 {
+						_ = conn.SetWriteDeadline(time.Now().Add(s.timeout))
+					}
+					_ = enc.Encode(response{Error: fmt.Sprintf(
+						"request line exceeds %d bytes", maxRequestLine)})
 				}
 			}
 			return

@@ -2,9 +2,13 @@ package coord
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"net"
 	"testing"
+
+	"sprintgame/internal/telemetry"
 )
 
 func startServer(t *testing.T) (*Server, *Client) {
@@ -117,6 +121,55 @@ func contains(s, sub string) bool {
 		}
 	}
 	return false
+}
+
+func TestPtripZeroStaysOnWire(t *testing.T) {
+	// A legitimate equilibrium Ptrip of exactly 0 must be encoded: with
+	// omitempty it would vanish from the wire and decode as "absent".
+	payload, err := json.Marshal(response{OK: "equilibrium", Ptrip: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(payload, []byte(`"ptrip":0`)) {
+		t.Errorf("zero ptrip omitted from the wire: %s", payload)
+	}
+}
+
+func TestOversizedRequestLine(t *testing.T) {
+	metrics := telemetry.NewRegistry()
+	c, err := NewCoordinator(gameConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ServeWith(c, ServeOptions{Addr: "127.0.0.1:0", Metrics: metrics})
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// One request line just past the 1 MiB scanner limit. The server
+	// must answer with an error response, not kill the connection
+	// silently.
+	line := bytes.Repeat([]byte("x"), maxRequestLine+2)
+	line[len(line)-1] = '\n'
+	if _, err := conn.Write(line); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatalf("no error response for an oversized request: %v", err)
+	}
+	if !contains(reply, "exceeds") {
+		t.Errorf("reply %q does not mention the line limit", reply)
+	}
+	if got := metrics.Counter("coord.oversized_requests").Value(); got != 1 {
+		t.Errorf("coord.oversized_requests = %d, want 1", got)
+	}
 }
 
 func TestClientAgainstClosedServer(t *testing.T) {

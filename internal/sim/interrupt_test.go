@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"sprintgame/internal/policy"
+)
+
+// interruptAt halts the run right before the given epoch with cause.
+func interruptAt(epoch int, cause error) func(int) error {
+	return func(e int) error {
+		if e == epoch {
+			return cause
+		}
+		return nil
+	}
+}
+
+func TestRunInterruptReturnsPartialPrefix(t *testing.T) {
+	full := smallConfig(t, "decision", 200)
+	full.RecordSeries = true
+	ref, err := Run(full, policy.NewGreedy(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cause := errors.New("rack lost power")
+	cut := full
+	cut.Interrupt = interruptAt(80, cause)
+	res, err := Run(cut, policy.NewGreedy(1))
+	if err == nil {
+		t.Fatal("interrupted run must return an error")
+	}
+	var ie *InterruptError
+	if !errors.As(err, &ie) {
+		t.Fatalf("error %v is not an *InterruptError", err)
+	}
+	if ie.Epoch != 80 {
+		t.Errorf("interrupt epoch = %d, want 80", ie.Epoch)
+	}
+	if !errors.Is(err, cause) {
+		t.Error("InterruptError must unwrap to the hook's cause")
+	}
+	if res == nil {
+		t.Fatal("interrupted run must return its partial result")
+	}
+	if res.Epochs != 80 {
+		t.Errorf("partial epochs = %d, want 80", res.Epochs)
+	}
+	if len(res.SprintersPerEpoch) != 80 || len(res.RecoveringPerEpoch) != 80 {
+		t.Fatalf("partial series lengths = %d/%d, want 80",
+			len(res.SprintersPerEpoch), len(res.RecoveringPerEpoch))
+	}
+	// The partial run is byte-for-byte the prefix of the full run: the
+	// interrupt must not perturb any RNG draw.
+	for e := 0; e < 80; e++ {
+		if res.SprintersPerEpoch[e] != ref.SprintersPerEpoch[e] {
+			t.Fatalf("epoch %d sprinters diverge: %d vs %d",
+				e, res.SprintersPerEpoch[e], ref.SprintersPerEpoch[e])
+		}
+	}
+	if s := res.Shares.Sum(); s < 0.999 || s > 1.001 {
+		t.Errorf("partial shares sum to %v, want 1", s)
+	}
+}
+
+func TestRunInterruptAtEpochZero(t *testing.T) {
+	cfg := smallConfig(t, "decision", 50)
+	cfg.RecordSeries = true
+	cfg.TrackAgents = []int{0}
+	cfg.Interrupt = interruptAt(0, errors.New("dead on arrival"))
+	res, err := Run(cfg, policy.NewGreedy(1))
+	if err == nil {
+		t.Fatal("want interrupt error")
+	}
+	if res == nil || res.Epochs != 0 {
+		t.Fatalf("zero-epoch partial: %+v", res)
+	}
+	// No NaNs from zero-epoch division.
+	if res.TaskRate != 0 || res.Shares.Sum() != 0 {
+		t.Errorf("zero-epoch partial must report zero rates, got rate=%v shares=%v",
+			res.TaskRate, res.Shares)
+	}
+	if got := res.AgentRates[0]; got != 0 {
+		t.Errorf("tracked agent rate = %v, want 0", got)
+	}
+	if len(res.SprintersPerEpoch) != 0 {
+		t.Errorf("series length = %d, want 0", len(res.SprintersPerEpoch))
+	}
+}
+
+func TestRunWithoutInterruptCompletes(t *testing.T) {
+	// An Interrupt hook that never fires must leave the run untouched.
+	cfg := smallConfig(t, "decision", 100)
+	ref, err := Run(cfg, policy.NewGreedy(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Interrupt = func(int) error { return nil }
+	res, err := Run(cfg, policy.NewGreedy(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TaskRate != ref.TaskRate || res.Trips != ref.Trips || res.Epochs != ref.Epochs {
+		t.Error("no-op interrupt hook changed the run")
+	}
+}

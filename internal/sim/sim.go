@@ -91,7 +91,33 @@ type Config struct {
 	// sprint decisions aggregated per class), sim.trip / sim.recovery
 	// events, and a final sim.done event as JSONL. Nil disables tracing.
 	Tracer *telemetry.Tracer
+	// Interrupt, when non-nil, is consulted at the start of every epoch
+	// with the epoch index about to run. A non-nil return halts the run:
+	// Run aggregates the epochs completed so far and returns the partial
+	// Result together with an *InterruptError wrapping the cause. The
+	// hook must be deterministic (a pure function of the epoch index)
+	// for the run to stay reproducible; the cluster layer uses it for
+	// seeded rack fault injection.
+	Interrupt func(epoch int) error
 }
+
+// InterruptError reports a run halted early by Config.Interrupt. Run
+// returns it alongside a non-nil partial Result whose aggregates and
+// series cover exactly Epoch completed epochs.
+type InterruptError struct {
+	// Epoch is the number of epochs completed before the halt (the
+	// epoch index at which the interrupt fired).
+	Epoch int
+	// Cause is what the Interrupt hook returned.
+	Cause error
+}
+
+func (e *InterruptError) Error() string {
+	return fmt.Sprintf("sim: interrupted after %d epochs: %v", e.Epoch, e.Cause)
+}
+
+// Unwrap exposes the interrupt cause to errors.Is / errors.As.
+func (e *InterruptError) Unwrap() error { return e.Cause }
 
 // Validate checks the simulation configuration.
 func (c Config) Validate() error {
@@ -188,7 +214,10 @@ type Result struct {
 	AgentSprints map[int]int
 }
 
-// Run simulates the rack under the given policy.
+// Run simulates the rack under the given policy. If Config.Interrupt
+// halts the run mid-way, Run returns the partial Result (aggregated
+// over the completed epochs) together with a non-nil *InterruptError;
+// every other error path returns a nil Result.
 func Run(cfg Config, pol policy.Policy) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -286,7 +315,17 @@ func Run(cfg Config, pol policy.Policy) (*Result, error) {
 		classSprints = make([]int, len(cfg.Groups))
 	}
 
+	completed := cfg.Epochs
+	var interrupted *InterruptError
+
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.Interrupt != nil {
+			if cause := cfg.Interrupt(epoch); cause != nil {
+				completed = epoch
+				interrupted = &InterruptError{Epoch: epoch, Cause: cause}
+				break
+			}
+		}
 		// Phase 1: utilities and sprint decisions.
 		nS := 0
 		nRecover := 0
@@ -428,18 +467,27 @@ func Run(cfg Config, pol policy.Policy) (*Result, error) {
 		pol.EpochEnd(epoch, nS, tripped)
 	}
 
-	// Aggregate.
+	// Aggregate over the epochs that actually ran: completed equals
+	// cfg.Epochs unless Config.Interrupt halted the run early, in which
+	// case rates, shares, and series cover the partial prefix only (a
+	// zero-epoch partial reports zero rates, not NaN).
+	res.Epochs = completed
+	if cfg.RecordSeries && completed < cfg.Epochs {
+		res.SprintersPerEpoch = res.SprintersPerEpoch[:completed]
+		res.RecoveringPerEpoch = res.RecoveringPerEpoch[:completed]
+	}
 	var totUnits, totSprint, totIdle, totCool, totRecover float64
 	for gi := range cfg.Groups {
 		ta := tallies[gi]
-		gEpochs := float64(cfg.Groups[gi].Count) * float64(cfg.Epochs)
 		gr := &res.Groups[gi]
-		gr.TaskRate = ta.units / gEpochs
-		gr.Shares = StateShares{
-			Sprinting:  ta.sprint / gEpochs,
-			ActiveIdle: ta.activeIdle / gEpochs,
-			Cooling:    ta.cool / gEpochs,
-			Recovery:   ta.recover / gEpochs,
+		if gEpochs := float64(cfg.Groups[gi].Count) * float64(completed); gEpochs > 0 {
+			gr.TaskRate = ta.units / gEpochs
+			gr.Shares = StateShares{
+				Sprinting:  ta.sprint / gEpochs,
+				ActiveIdle: ta.activeIdle / gEpochs,
+				Cooling:    ta.cool / gEpochs,
+				Recovery:   ta.recover / gEpochs,
+			}
 		}
 		if ta.sprintCount > 0 {
 			gr.MeanSprintUtility = ta.sprintUtil / ta.sprintCount
@@ -450,18 +498,23 @@ func Run(cfg Config, pol policy.Policy) (*Result, error) {
 		totCool += ta.cool
 		totRecover += ta.recover
 	}
-	all := float64(cfg.Game.N) * float64(cfg.Epochs)
-	res.TaskRate = totUnits / all
-	res.Shares = StateShares{
-		Sprinting:  totSprint / all,
-		ActiveIdle: totIdle / all,
-		Cooling:    totCool / all,
-		Recovery:   totRecover / all,
+	if all := float64(cfg.Game.N) * float64(completed); all > 0 {
+		res.TaskRate = totUnits / all
+		res.Shares = StateShares{
+			Sprinting:  totSprint / all,
+			ActiveIdle: totIdle / all,
+			Cooling:    totCool / all,
+			Recovery:   totRecover / all,
+		}
 	}
 	if agentUnits != nil {
 		res.AgentRates = make(map[int]float64, len(agentUnits))
 		for id, u := range agentUnits {
-			res.AgentRates[id] = u / float64(cfg.Epochs)
+			if completed > 0 {
+				res.AgentRates[id] = u / float64(completed)
+			} else {
+				res.AgentRates[id] = 0
+			}
 		}
 		res.AgentSprints = agentSprints
 	}
@@ -473,6 +526,9 @@ func Run(cfg Config, pol policy.Policy) (*Result, error) {
 			"task_rate": res.TaskRate,
 			"trips":     res.Trips,
 		})
+	}
+	if interrupted != nil {
+		return res, interrupted
 	}
 	return res, nil
 }

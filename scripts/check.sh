@@ -31,6 +31,13 @@ go test -race -short -run 'Differential|Parallel|Warm|Kernel|Aitken|Prefix' ./in
 echo "== go test -race -short ./internal/cluster/..."
 go test -race -short ./internal/cluster/...
 
+# Fault injection exercises the engine's degraded paths (mid-run rack
+# kills, retries on derived streams, partial aggregation) across worker
+# counts, where a data race would silently break the determinism
+# contract.
+echo "== go test -race -run Fault ./internal/cluster"
+go test -race -run Fault ./internal/cluster
+
 echo "== go test -race ./..."
 go test -race ./...
 
