@@ -17,6 +17,7 @@ check:
 bench:
 	$(GO) test -bench . -benchtime 1x
 
-# Cluster + solve-cache benchmarks, recorded as BENCH_cluster.json.
+# Cluster, solver, and serving-path benchmarks, recorded as
+# BENCH_cluster.json / BENCH_core.json / BENCH_coord.json.
 bench-cluster:
 	sh scripts/bench.sh

@@ -1,0 +1,319 @@
+// Command traceview analyzes span traces produced by the telemetry
+// layer (coordinator servers, coordbench, cluster/sim runs): JSONL
+// streams of {"event":"span",...} records with trace/span/parent IDs
+// and, when the tracer had a clock, start_ns/dur_ns timing.
+//
+// It reports, offline:
+//
+//   - a per-phase latency breakdown: for every span name, the count,
+//     total, mean, p50, and p99 of recorded durations;
+//   - the solve-cache hit ratio, read from cache.lookup span outcomes;
+//   - root-span coverage: for each root (a span with no parent), how
+//     much of its duration its direct children account for — a
+//     self-check that the instrumentation isn't missing a phase;
+//   - the critical path of the slowest trace: the root's child tree,
+//     sorted by duration, with per-phase shares.
+//
+// Usage:
+//
+//	traceview spans.jsonl
+//	coordbench -trace spans.jsonl -duration 2s && traceview spans.jsonl
+//	traceview -slowest 3 spans.jsonl
+//	cat spans.jsonl | traceview
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// span is one span event. StartNS/DurNS are pointers so a clock-less
+// trace (deterministic runs never stamp timing) is distinguishable from
+// a zero-duration span.
+type span struct {
+	Event   string `json:"event"`
+	Name    string `json:"name"`
+	Trace   string `json:"trace"`
+	ID      string `json:"id"`
+	Parent  string `json:"parent"`
+	StartNS *int64 `json:"start_ns"`
+	DurNS   *int64 `json:"dur_ns"`
+	Outcome string `json:"outcome"`
+}
+
+func main() {
+	slowest := flag.Int("slowest", 1, "number of slowest root traces to break down")
+	flag.Parse()
+
+	var spans []span
+	if flag.NArg() == 0 {
+		spans = readSpans(os.Stdin, "stdin", spans)
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		spans = readSpans(f, path, spans)
+		f.Close()
+	}
+	if len(spans) == 0 {
+		fatal(fmt.Errorf("no span events found (span traces carry \"event\":\"span\" lines)"))
+	}
+
+	traces := map[string]bool{}
+	timed := 0
+	for i := range spans {
+		traces[spans[i].Trace] = true
+		if spans[i].DurNS != nil {
+			timed++
+		}
+	}
+	fmt.Printf("%d spans across %d traces\n", len(spans), len(traces))
+	if timed == 0 {
+		fmt.Println("trace carries no timing (clock-less tracer); reporting structure only")
+	}
+
+	phaseTable(spans)
+	cacheRatio(spans)
+	coverage(spans)
+	criticalPaths(spans, *slowest)
+}
+
+func readSpans(r io.Reader, name string, spans []span) []span {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var s span
+		if err := json.Unmarshal(raw, &s); err != nil {
+			fatal(fmt.Errorf("%s:%d: %w", name, line, err))
+		}
+		if s.Event == "span" {
+			spans = append(spans, s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(fmt.Errorf("%s: %w", name, err))
+	}
+	return spans
+}
+
+// phaseTable prints per-span-name duration statistics.
+func phaseTable(spans []span) {
+	durs := map[string][]int64{}
+	counts := map[string]int{}
+	for i := range spans {
+		s := &spans[i]
+		counts[s.Name]++
+		if s.DurNS != nil {
+			durs[s.Name] = append(durs[s.Name], *s.DurNS)
+		}
+	}
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		return total(durs[names[i]]) > total(durs[names[j]])
+	})
+	fmt.Printf("\nper-phase latency:\n")
+	fmt.Printf("  %-24s %8s %10s %10s %10s %10s\n", "phase", "count", "total", "mean", "p50", "p99")
+	for _, n := range names {
+		ds := durs[n]
+		if len(ds) == 0 {
+			fmt.Printf("  %-24s %8d %10s %10s %10s %10s\n", n, counts[n], "-", "-", "-", "-")
+			continue
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		tot := total(ds)
+		fmt.Printf("  %-24s %8d %10s %10s %10s %10s\n",
+			n, counts[n], fmtDur(tot), fmtDur(tot/int64(len(ds))),
+			fmtDur(pct(ds, 0.50)), fmtDur(pct(ds, 0.99)))
+	}
+}
+
+// cacheRatio reports the solve cache's effectiveness from cache.lookup
+// span outcomes.
+func cacheRatio(spans []span) {
+	var hit, miss, coalesced int
+	for i := range spans {
+		if spans[i].Name != "cache.lookup" {
+			continue
+		}
+		switch spans[i].Outcome {
+		case "hit":
+			hit++
+		case "miss":
+			miss++
+		case "coalesced":
+			coalesced++
+		}
+	}
+	lookups := hit + miss + coalesced
+	if lookups == 0 {
+		return
+	}
+	fmt.Printf("\nsolve cache: %.1f%% served without a solve (%d hit, %d coalesced, %d miss)\n",
+		100*float64(hit+coalesced)/float64(lookups), hit, coalesced, miss)
+}
+
+// coverage checks, for every span name with instrumented children, how
+// much of the parent's duration its direct children account for. Low
+// coverage flags an uninstrumented phase inside that parent; a client
+// span wrapping a remote call legitimately shows low coverage (dial and
+// network time have no child span).
+func coverage(spans []span) {
+	children := childIndex(spans)
+	type cov struct {
+		parents           int
+		ratio             []float64
+		childNS, parentNS int64
+	}
+	byName := map[string]*cov{}
+	for i := range spans {
+		s := &spans[i]
+		if s.DurNS == nil || *s.DurNS <= 0 || len(children[s.ID]) == 0 {
+			continue
+		}
+		c := byName[s.Name]
+		if c == nil {
+			c = &cov{}
+			byName[s.Name] = c
+		}
+		c.parents++
+		var sum int64
+		for _, ch := range children[s.ID] {
+			if ch.DurNS != nil {
+				sum += *ch.DurNS
+			}
+		}
+		c.ratio = append(c.ratio, float64(sum)/float64(*s.DurNS))
+		c.childNS += sum
+		c.parentNS += *s.DurNS
+	}
+	if len(byName) == 0 {
+		return
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("\nspan coverage (direct children / span duration):\n")
+	for _, n := range names {
+		c := byName[n]
+		var sum float64
+		for _, r := range c.ratio {
+			sum += r
+		}
+		fmt.Printf("  %-24s %6d spans, mean %.1f%%, duration-weighted %.1f%%\n",
+			n, c.parents, 100*sum/float64(len(c.ratio)),
+			100*float64(c.childNS)/float64(c.parentNS))
+	}
+}
+
+// criticalPaths prints the child tree of the n slowest root spans.
+func criticalPaths(spans []span, n int) {
+	children := childIndex(spans)
+	var roots []*span
+	for i := range spans {
+		s := &spans[i]
+		if s.Parent == "" && s.DurNS != nil {
+			roots = append(roots, s)
+		}
+	}
+	if len(roots) == 0 || n <= 0 {
+		return
+	}
+	sort.Slice(roots, func(i, j int) bool { return *roots[i].DurNS > *roots[j].DurNS })
+	if n > len(roots) {
+		n = len(roots)
+	}
+	for _, root := range roots[:n] {
+		fmt.Printf("\nslowest trace %s: %s %s\n", root.Trace, root.Name, fmtDur(*root.DurNS))
+		printTree(root, children, *root.DurNS, 1)
+	}
+}
+
+func printTree(s *span, children map[string][]*span, rootDur int64, depth int) {
+	kids := append([]*span(nil), children[s.ID]...)
+	sort.Slice(kids, func(i, j int) bool { return durOf(kids[i]) > durOf(kids[j]) })
+	for _, ch := range kids {
+		share := ""
+		if rootDur > 0 && ch.DurNS != nil {
+			share = fmt.Sprintf(" (%4.1f%%)", 100*float64(*ch.DurNS)/float64(rootDur))
+		}
+		fmt.Printf("  %s%-24s %10s%s\n",
+			strings.Repeat("  ", depth), ch.Name, fmtDurPtr(ch.DurNS), share)
+		printTree(ch, children, rootDur, depth+1)
+	}
+}
+
+// childIndex maps span ID -> direct children, preserving file order.
+func childIndex(spans []span) map[string][]*span {
+	idx := map[string][]*span{}
+	for i := range spans {
+		s := &spans[i]
+		if s.Parent != "" {
+			idx[s.Parent] = append(idx[s.Parent], s)
+		}
+	}
+	return idx
+}
+
+func durOf(s *span) int64 {
+	if s.DurNS == nil {
+		return 0
+	}
+	return *s.DurNS
+}
+
+func total(ds []int64) int64 {
+	var t int64
+	for _, d := range ds {
+		t += d
+	}
+	return t
+}
+
+// pct returns the q-quantile of sorted durations (exact, sample-based).
+func pct(sorted []int64, q float64) int64 {
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func fmtDur(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
+func fmtDurPtr(ns *int64) string {
+	if ns == nil {
+		return "-"
+	}
+	return fmtDur(*ns)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "traceview:", err)
+	os.Exit(1)
+}

@@ -20,9 +20,10 @@
 //   - policies are constructed per rack by the PolicyFactory, so
 //     stateful policies (e.g. exponential backoff) never share state
 //     across racks;
-//   - racks run with nil per-rack telemetry sinks; cluster metrics and
-//     cluster.epoch / cluster.rack / cluster.done trace events are
-//     emitted after all racks complete, in rack-index order.
+//   - racks run with nil per-rack telemetry sinks; cluster metrics,
+//     cluster.epoch / cluster.rack / cluster.done trace events, and the
+//     cluster.run span tree are emitted after all racks complete, in
+//     rack-index order.
 //
 // Consequently rack i of a cluster run reproduces exactly the results
 // of a standalone sim.Run with the same sim.Config — verified by
@@ -104,7 +105,10 @@ type Config struct {
 	// Tracer, when non-nil, receives per-epoch cluster.epoch events,
 	// per-rack cluster.rack events, cluster.rack_failed events for any
 	// failed racks, and a final cluster.done event, emitted
-	// deterministically after the run.
+	// deterministically after the run — plus a cluster.run root span
+	// with one cluster.rack child span per rack. Span timings appear
+	// only when the tracer has a clock, so clock-less traces stay
+	// byte-identical for every Workers value.
 	Tracer *telemetry.Tracer
 	// Faults, when active, deterministically kills selected racks
 	// mid-run (see FaultPlan). The schedule depends only on BaseSeed,
@@ -276,12 +280,16 @@ func (c Config) rackConfig(i int) sim.Config {
 }
 
 // rackOutcome is one rack's terminal state: exactly one of res and err
-// is non-nil.
+// is non-nil. start/dur record the rack's wall-clock window on its
+// worker goroutine; they feed span timings only (never results), and
+// only when the tracer has a clock.
 type rackOutcome struct {
 	seed     uint64
 	attempts int
 	res      *sim.Result
 	err      *RackError
+	start    time.Time
+	dur      time.Duration
 }
 
 // rackName resolves rack i's label.
@@ -389,6 +397,7 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Faults.Active() {
 		kills = cfg.Faults.schedule(cfg.BaseSeed, len(cfg.Racks), cfg.Epochs)
 	}
+	runStart := time.Now()
 	outcomes := make([]rackOutcome, len(cfg.Racks))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -401,7 +410,9 @@ func Run(cfg Config) (*Result, error) {
 				if kills != nil {
 					kill = kills[i]
 				}
+				t0 := time.Now()
 				outcomes[i] = cfg.runRack(i, kill)
+				outcomes[i].start, outcomes[i].dur = t0, time.Since(t0)
 			}
 		}()
 	}
@@ -437,13 +448,13 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	return aggregate(cfg, workers, outcomes, failed, retries), nil
+	return aggregate(cfg, workers, outcomes, failed, retries, runStart), nil
 }
 
 // aggregate folds surviving rack results into the cluster result and
 // emits cluster telemetry, all in deterministic rack-index order.
 // Failed racks (AllowPartial) are excluded from every aggregate.
-func aggregate(cfg Config, workers int, outcomes []rackOutcome, failed []RackError, retries int) *Result {
+func aggregate(cfg Config, workers int, outcomes []rackOutcome, failed []RackError, retries int, runStart time.Time) *Result {
 	out := &Result{
 		Racks:   make([]RackResult, 0, len(outcomes)-len(failed)),
 		Failed:  failed,
@@ -497,7 +508,7 @@ func aggregate(cfg Config, workers int, outcomes []rackOutcome, failed []RackErr
 	}
 
 	emitMetrics(cfg, out)
-	emitTrace(cfg, out)
+	emitTrace(cfg, out, outcomes, runStart)
 	return out
 }
 
@@ -551,7 +562,7 @@ func emitMetrics(cfg Config, out *Result) {
 	}
 }
 
-func emitTrace(cfg Config, out *Result) {
+func emitTrace(cfg Config, out *Result, outcomes []rackOutcome, runStart time.Time) {
 	t := cfg.Tracer
 	if !t.Enabled() {
 		return
@@ -591,5 +602,35 @@ func emitTrace(cfg Config, out *Result) {
 		"task_rate":            out.TaskRate,
 		"trips":                out.Trips,
 		"trips_per_rack_epoch": out.TripsPerRackEpoch,
+	})
+
+	// Span tree: a cluster.run root with one cluster.rack child per rack
+	// (failed racks included), emitted post-run in rack-index order so
+	// the span stream honours the determinism contract. The wall-clock
+	// windows captured on the worker goroutines surface only when the
+	// tracer has a clock; deterministic clock-less traces omit them. The
+	// trace ID derives from BaseSeed (mixed with a sentinel index no rack
+	// can occupy) so reruns reproduce it.
+	root := t.StartSpan("cluster.run", telemetry.TraceIDFromSeed(mixSeed(cfg.BaseSeed, -2)))
+	for i := range outcomes {
+		oc := &outcomes[i]
+		fields := telemetry.Fields{
+			"rack":      i,
+			"rack_name": cfg.rackName(i),
+			"attempts":  oc.attempts,
+			"failed":    oc.err != nil,
+		}
+		if oc.res != nil {
+			fields["task_rate"] = oc.res.TaskRate
+			fields["trips"] = oc.res.Trips
+		}
+		root.Child("cluster.rack").WithTiming(oc.start, oc.dur).EndWith(fields)
+	}
+	// "failed_racks", not "failed": the rack children use "failed" as a
+	// boolean, and one trace should not overload a key with two types.
+	root.WithTiming(runStart, time.Since(runStart)).EndWith(telemetry.Fields{
+		"racks":        len(out.Racks),
+		"failed_racks": len(out.Failed),
+		"retries":      out.Retries,
 	})
 }

@@ -19,6 +19,7 @@ import (
 
 	"sprintgame/internal/core"
 	"sprintgame/internal/dist"
+	"sprintgame/internal/telemetry"
 )
 
 // Profile is an agent's report: the utility histogram it observed while
@@ -143,6 +144,16 @@ func poolAtoms(values, weights []float64) (*dist.Discrete, error) {
 // ComputeStrategies merges profiles per class, runs Algorithm 1, and
 // returns each class's assigned strategy.
 func (c *Coordinator) ComputeStrategies() (map[string]Strategy, *core.Equilibrium, error) {
+	return c.ComputeStrategiesSpanned(nil)
+}
+
+// ComputeStrategiesSpanned is ComputeStrategies with span tracing: the
+// profile pooling, the solve-cache lookup, and any actual equilibrium
+// solve are recorded as children of the given parent span (the
+// coordinator server passes its per-request dispatch span). A nil span
+// disables tracing.
+func (c *Coordinator) ComputeStrategiesSpanned(span *telemetry.Span) (map[string]Strategy, *core.Equilibrium, error) {
+	pool := span.Child("coord.pool")
 	c.mu.Lock()
 	cache := c.cache
 	type classAgg struct {
@@ -172,6 +183,7 @@ func (c *Coordinator) ComputeStrategies() (map[string]Strategy, *core.Equilibriu
 		d, err := dist.NewDiscrete(p.Values, p.Weights)
 		if err != nil {
 			c.mu.Unlock()
+			pool.EndWith(telemetry.Fields{"error": err.Error()})
 			return nil, nil, err
 		}
 		a.values = append(a.values, d.Values()...)
@@ -180,6 +192,7 @@ func (c *Coordinator) ComputeStrategies() (map[string]Strategy, *core.Equilibriu
 	c.mu.Unlock()
 
 	if len(agg) == 0 {
+		pool.EndWith(telemetry.Fields{"error": "no profiles"})
 		return nil, nil, errors.New("coord: no profiles registered")
 	}
 	names := make([]string, 0, len(agg))
@@ -195,12 +208,14 @@ func (c *Coordinator) ComputeStrategies() (map[string]Strategy, *core.Equilibriu
 		a := agg[name]
 		d, err := poolAtoms(a.values, a.weights)
 		if err != nil {
+			pool.EndWith(telemetry.Fields{"error": err.Error()})
 			return nil, nil, fmt.Errorf("coord: pooling class %q: %w", name, err)
 		}
 		classes = append(classes, core.AgentClass{Name: name, Count: a.count, Density: d})
 		cfg.N += a.count
 	}
-	eq, err := cache.FindEquilibrium(classes, cfg)
+	pool.EndWith(telemetry.Fields{"classes": len(classes), "agents": len(agents)})
+	eq, err := cache.FindEquilibriumSpanned(classes, cfg, span)
 	if err != nil {
 		return nil, nil, err
 	}

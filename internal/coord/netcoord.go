@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sprintgame/internal/core"
@@ -25,6 +26,15 @@ type request struct {
 	Type string `json:"type"`
 	// Profile accompanies "submit".
 	Profile *Profile `json:"profile,omitempty"`
+	// Trace optionally carries the caller's trace ID; the server joins
+	// its coord.request span to that trace (and echoes the ID in the
+	// response) so client-side and server-side spans stitch into one
+	// trace. Absent, the server derives a trace ID from its request
+	// sequence number.
+	Trace string `json:"trace,omitempty"`
+	// Parent optionally carries the caller's span ID; the server's
+	// coord.request span is parented under it.
+	Parent string `json:"parent,omitempty"`
 }
 
 // response is the server-to-client message.
@@ -38,6 +48,9 @@ type response struct {
 	// thresholds that never overload the breaker) and dropping it from
 	// the wire would decode as "absent" on the client.
 	Ptrip float64 `json:"ptrip"`
+	// Trace echoes the trace ID the server's spans were recorded under
+	// (the request's, or the server-derived one).
+	Trace string `json:"trace,omitempty"`
 }
 
 // DefaultConnTimeout is the server's default per-connection idle
@@ -75,6 +88,7 @@ type Server struct {
 	timeout time.Duration
 	metrics *telemetry.Registry
 	tracer  *telemetry.Tracer
+	reqSeq  atomic.Uint64 // trace-ID source for requests without one
 
 	mu     sync.Mutex
 	closed bool
@@ -170,16 +184,23 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// requestLatencyBuckets spans 100 µs quick submits to multi-second
-// equilibrium solves.
-var requestLatencyBuckets = telemetry.ExponentialBuckets(1e-4, 10, 7)
-
 // maxRequestLine bounds one request line on the wire.
 const maxRequestLine = 1 << 20
+
+// requestTrace resolves the trace ID for one request: the client's, or
+// one derived from the server's request sequence so every request is
+// traceable even from uninstrumented clients.
+func (s *Server) requestTrace(req request) string {
+	if req.Trace != "" {
+		return req.Trace
+	}
+	return telemetry.TraceIDFromSeed(s.reqSeq.Add(1))
+}
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
 	s.metrics.Counter("coord.connections").Inc()
+	latencyHist := s.metrics.Histogram("coord.request_latency_s", telemetry.LatencyBuckets())
 	scanner := bufio.NewScanner(conn)
 	scanner.Buffer(make([]byte, 0, 64*1024), maxRequestLine)
 	enc := json.NewEncoder(conn)
@@ -210,17 +231,41 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		var req request
 		var resp response
+		// The request root span covers parse + dispatch + encode; parse
+		// runs before the trace ID is known, so its timing is captured
+		// here and attached as a child span after the fact.
 		start := time.Now()
-		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
+		parseErr := json.Unmarshal(scanner.Bytes(), &req)
+		parseDur := time.Since(start)
+		root := s.tracer.StartSpanFrom("coord.request", s.requestTrace(req), req.Parent)
+		root.Child("coord.parse").WithTiming(start, parseDur).End()
+		if parseErr != nil {
 			req.Type = "malformed"
-			resp = response{Error: "malformed request: " + err.Error()}
+			resp = response{Error: "malformed request: " + parseErr.Error()}
 		} else {
-			resp = s.dispatch(req)
+			resp = s.dispatch(req, root)
 		}
-		latency := time.Since(start).Seconds()
+		resp.Trace = root.TraceID()
+		if s.timeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(s.timeout))
+		}
+		encSpan := root.Child("coord.encode")
+		encErr := enc.Encode(resp)
+		encSpan.End()
+		// The root span's window closes here, right after the response
+		// hits the wire: the metric bookkeeping and flat event below are
+		// server overhead, not request service time, and keeping them
+		// outside the window lets the parse/dispatch/encode children
+		// account for (nearly) all of the root's duration.
+		rootDur := time.Since(start)
+		root.WithTiming(start, rootDur).EndWith(telemetry.Fields{
+			"type":  req.Type,
+			"error": resp.Error,
+		})
+		latency := rootDur.Seconds()
+		latencyHist.Observe(latency)
 		s.metrics.Counter("coord.requests").Inc()
 		s.metrics.Counter("coord.requests." + req.Type).Inc()
-		s.metrics.Histogram("coord.request_latency_s", requestLatencyBuckets).Observe(latency)
 		if resp.Error != "" {
 			s.metrics.Counter("coord.request_errors").Inc()
 		}
@@ -229,18 +274,23 @@ func (s *Server) handle(conn net.Conn) {
 				"type":      req.Type,
 				"error":     resp.Error,
 				"latency_s": latency,
+				"trace":     root.TraceID(),
 			})
 		}
-		if s.timeout > 0 {
-			_ = conn.SetWriteDeadline(time.Now().Add(s.timeout))
-		}
-		if err := enc.Encode(resp); err != nil {
+		if encErr != nil {
 			return
 		}
 	}
 }
 
-func (s *Server) dispatch(req request) response {
+func (s *Server) dispatch(req request, root *telemetry.Span) response {
+	span := root.Child("coord.dispatch")
+	resp := s.dispatchTyped(req, span)
+	span.EndWith(telemetry.Fields{"type": req.Type, "error": resp.Error})
+	return resp
+}
+
+func (s *Server) dispatchTyped(req request, span *telemetry.Span) response {
 	switch req.Type {
 	case "submit":
 		if req.Profile == nil {
@@ -251,7 +301,7 @@ func (s *Server) dispatch(req request) response {
 		}
 		return response{OK: "profile accepted"}
 	case "strategies":
-		strategies, eq, err := s.coord.ComputeStrategies()
+		strategies, eq, err := s.coord.ComputeStrategiesSpanned(span)
 		if err != nil {
 			return response{Error: err.Error()}
 		}
@@ -270,7 +320,7 @@ const (
 	DefaultRequestTimeout = 2 * time.Minute
 )
 
-// ClientOptions configures a Client's failure behaviour.
+// ClientOptions configures a Client's failure behaviour and telemetry.
 type ClientOptions struct {
 	// DialTimeout bounds connection establishment. Zero selects
 	// DefaultDialTimeout; negative disables the bound.
@@ -279,16 +329,42 @@ type ClientOptions struct {
 	// read), armed as a connection deadline per request. Zero selects
 	// DefaultRequestTimeout; negative disables the bound.
 	RequestTimeout time.Duration
+	// Metrics, when non-nil, receives client-side request metrics:
+	// coord.client.requests (and .<type>), coord.client.errors, and the
+	// coord.client.request_latency_s histogram. Client-side latency
+	// includes dial, queueing, and the network — what callers actually
+	// experience, as opposed to the server's service time.
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, emits one coord.client.request span per
+	// round trip and propagates the trace and span IDs on the wire, so
+	// the server's coord.request span (and its children) stitch into
+	// the client's trace.
+	Tracer *telemetry.Tracer
+	// TraceSeed perturbs the deterministic derivation of per-request
+	// trace IDs, so multiple clients tracing into one file do not
+	// collide. Zero is a valid seed.
+	TraceSeed uint64
 }
 
 // Client talks to a coordinator Server. Every round trip is bounded by
 // a dial timeout and a per-request deadline, so an unresponsive or
 // half-open server surfaces as a timeout error instead of blocking the
 // caller forever (mirroring the server-side connection deadlines).
+// Clients are safe for concurrent use.
 type Client struct {
 	addr        string
 	dialTimeout time.Duration
 	reqTimeout  time.Duration
+
+	metrics   *telemetry.Registry
+	tracer    *telemetry.Tracer
+	traceSeed uint64
+	reqSeq    atomic.Uint64
+
+	// Hoisted hot-path instruments (nil-safe when metrics is nil).
+	requests *telemetry.Counter
+	errors   *telemetry.Counter
+	latency  *telemetry.Histogram
 }
 
 // NewClient returns a client for the given server address with default
@@ -297,7 +373,7 @@ func NewClient(addr string) *Client {
 	return NewClientWith(addr, ClientOptions{})
 }
 
-// NewClientWith returns a client with explicit timeout options.
+// NewClientWith returns a client with explicit options.
 func NewClientWith(addr string, opts ClientOptions) *Client {
 	normalize := func(d, def time.Duration) time.Duration {
 		switch {
@@ -312,11 +388,42 @@ func NewClientWith(addr string, opts ClientOptions) *Client {
 		addr:        addr,
 		dialTimeout: normalize(opts.DialTimeout, DefaultDialTimeout),
 		reqTimeout:  normalize(opts.RequestTimeout, DefaultRequestTimeout),
+		metrics:     opts.Metrics,
+		tracer:      opts.Tracer,
+		traceSeed:   opts.TraceSeed,
+		requests:    opts.Metrics.Counter("coord.client.requests"),
+		errors:      opts.Metrics.Counter("coord.client.errors"),
+		latency:     opts.Metrics.Histogram("coord.client.request_latency_s", telemetry.LatencyBuckets()),
 	}
 }
 
-// roundTrip sends one request and decodes one response.
+// roundTrip sends one request and decodes one response, recording
+// client-side latency/error metrics and a coord.client.request span.
 func (c *Client) roundTrip(req request) (response, error) {
+	var span *telemetry.Span
+	if c.tracer.Enabled() {
+		seq := c.reqSeq.Add(1)
+		span = c.tracer.StartSpan("coord.client.request",
+			telemetry.TraceIDFromSeed(c.traceSeed+0x9e3779b97f4a7c15*seq))
+		req.Trace = span.TraceID()
+		req.Parent = span.SpanID()
+	}
+	start := time.Now()
+	resp, err := c.do(req)
+	c.requests.Inc()
+	c.metrics.Counter("coord.client.requests." + req.Type).Inc()
+	c.latency.Observe(time.Since(start).Seconds())
+	fields := telemetry.Fields{"type": req.Type}
+	if err != nil {
+		c.errors.Inc()
+		fields["error"] = err.Error()
+	}
+	span.EndWith(fields)
+	return resp, err
+}
+
+// do performs the raw dial/write/read round trip.
+func (c *Client) do(req request) (response, error) {
 	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
 	if err != nil {
 		return response{}, err

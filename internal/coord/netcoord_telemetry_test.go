@@ -88,7 +88,7 @@ func TestServerRequestTelemetry(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	var buf bytes.Buffer
 	tr := telemetry.NewTracer(&buf)
-	_, client := startServerWith(t, ServeOptions{Metrics: reg, Tracer: tr})
+	srv, client := startServerWith(t, ServeOptions{Metrics: reg, Tracer: tr})
 
 	for i := 0; i < 3; i++ {
 		p := profileFor(t, "a", "decision", uint64(i+1), 200)
@@ -102,6 +102,11 @@ func TestServerRequestTelemetry(t *testing.T) {
 	if err := client.SubmitProfile(Profile{Agent: "bad"}); err == nil {
 		t.Fatal("invalid profile should error")
 	}
+
+	// Request counters and trace events are finalized after the
+	// response is encoded; Close waits on the handler goroutines so
+	// the registry and buffer are quiescent before the assertions.
+	_ = srv.Close()
 
 	if got := reg.Counter("coord.requests").Value(); got != 5 {
 		t.Errorf("coord.requests = %d, want 5", got)

@@ -72,6 +72,12 @@ type Config struct {
 	// Tracer, when non-nil, receives per-iteration solver.step events
 	// and a final solver.done event as JSONL. Nil disables tracing.
 	Tracer *telemetry.Tracer
+	// Span, when non-nil, is the parent span for this solve: each outer
+	// Algorithm 1 iteration is emitted as a solver.iter child span
+	// through the span's own tracer. Like Metrics and Tracer it is a
+	// telemetry sink, not a game parameter, and is excluded from
+	// SolveKey.
+	Span *telemetry.Span
 }
 
 // BellmanKernel selects how a value-iteration sweep evaluates the

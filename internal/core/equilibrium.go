@@ -163,7 +163,13 @@ func FindEquilibriumWarm(classes []AgentClass, cfg Config, warm *WarmStart) (*Eq
 	var aitken [3]float64
 	aitkenLen := 0
 	for iter := 1; iter <= cfg.MaxFixedPointIter; iter++ {
+		// Span payloads are built behind nil checks: the Fields maps must
+		// not cost an allocation per iteration on untraced solves.
+		iterSpan := cfg.Span.Child("solver.iter")
 		if err := solveClasses(classes, ptrip, cfg, guesses, eq.Classes, workers); err != nil {
+			if iterSpan != nil {
+				iterSpan.EndWith(telemetry.Fields{"iter": iter, "error": err.Error()})
+			}
 			return nil, err
 		}
 		// Deterministic reduction in class order: byte-identical for
@@ -186,6 +192,9 @@ func FindEquilibriumWarm(classes []AgentClass, cfg Config, warm *WarmStart) (*Eq
 				"residual":  residual,
 				"sprinters": nS,
 			})
+		}
+		if iterSpan != nil {
+			iterSpan.EndWith(telemetry.Fields{"iter": iter, "residual": residual})
 		}
 		if residual < cfg.FixedPointTol {
 			eq.Ptrip = ptrip
@@ -252,11 +261,14 @@ func solveClasses(classes []AgentClass, ptrip float64, cfg Config, guesses []Val
 	for i := range classes {
 		wg.Add(1)
 		sem <- struct{}{}
-		go func(i int) {
+		// cfg is passed as an explicit argument rather than captured:
+		// a closure capture of the (now >128-byte) struct would force a
+		// heap copy of cfg on every solveClasses call, even serial ones.
+		go func(i int, cfg Config) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			errs[i] = solveClass(&classes[i], ptrip, cfg, &guesses[i], &out[i])
-		}(i)
+		}(i, cfg)
 	}
 	wg.Wait()
 	for _, err := range errs {

@@ -126,10 +126,29 @@ func (c *SolveCache) Len() int {
 // independently and in parallel. The returned equilibrium is shared —
 // callers must not mutate it.
 func (c *SolveCache) FindEquilibrium(classes []AgentClass, cfg Config) (*Equilibrium, error) {
+	return c.FindEquilibriumSpanned(classes, cfg, nil)
+}
+
+// FindEquilibriumSpanned is FindEquilibrium with span tracing under the
+// given parent span (nil disables it): the lookup is emitted as a
+// cache.lookup child whose outcome field reports hit, miss, or
+// coalesced — a coalesced lookup's duration is the time spent waiting
+// on the in-flight solve — and a miss's actual solve as a core.solve
+// child (with per-iteration solver.iter grandchildren via Config.Span).
+func (c *SolveCache) FindEquilibriumSpanned(classes []AgentClass, cfg Config, parent *telemetry.Span) (*Equilibrium, error) {
+	// Span payloads are built behind nil checks so unspanned lookups do
+	// not pay a Fields allocation.
 	if c == nil {
-		return FindEquilibrium(classes, cfg)
+		solve := parent.Child("core.solve")
+		cfg.Span = solve
+		eq, err := FindEquilibrium(classes, cfg)
+		if solve != nil {
+			solve.EndWith(solveFields(eq, err))
+		}
+		return eq, err
 	}
 	key := SolveKey(classes, cfg)
+	lookup := parent.Child("cache.lookup")
 
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
@@ -137,6 +156,9 @@ func (c *SolveCache) FindEquilibrium(classes []AgentClass, cfg Config) (*Equilib
 		c.mu.Unlock()
 		c.hits.Add(1)
 		c.metrics.Counter("solvecache.hits").Inc()
+		if lookup != nil {
+			lookup.EndWith(telemetry.Fields{"outcome": "hit"})
+		}
 		return el.Value.(*cacheEntry).eq, nil
 	}
 	if call, ok := c.inflight[key]; ok {
@@ -144,6 +166,9 @@ func (c *SolveCache) FindEquilibrium(classes []AgentClass, cfg Config) (*Equilib
 		c.coalesced.Add(1)
 		c.metrics.Counter("solvecache.coalesced").Inc()
 		<-call.done
+		if lookup != nil {
+			lookup.EndWith(telemetry.Fields{"outcome": "coalesced"})
+		}
 		return call.eq, call.err
 	}
 	call := &inflightSolve{done: make(chan struct{})}
@@ -152,7 +177,15 @@ func (c *SolveCache) FindEquilibrium(classes []AgentClass, cfg Config) (*Equilib
 
 	c.misses.Add(1)
 	c.metrics.Counter("solvecache.misses").Inc()
+	if lookup != nil {
+		lookup.EndWith(telemetry.Fields{"outcome": "miss"})
+	}
+	solve := parent.Child("core.solve")
+	cfg.Span = solve
 	call.eq, call.err = FindEquilibrium(classes, cfg)
+	if solve != nil {
+		solve.EndWith(solveFields(call.eq, call.err))
+	}
 
 	c.mu.Lock()
 	delete(c.inflight, key)
@@ -173,6 +206,17 @@ func (c *SolveCache) FindEquilibrium(classes []AgentClass, cfg Config) (*Equilib
 	return call.eq, call.err
 }
 
+// solveFields summarizes a solve's outcome for its core.solve span.
+func solveFields(eq *Equilibrium, err error) telemetry.Fields {
+	if err != nil {
+		return telemetry.Fields{"error": err.Error()}
+	}
+	return telemetry.Fields{
+		"iterations": eq.Iterations,
+		"converged":  eq.Converged,
+	}
+}
+
 // tripFingerprintSamples is the number of Ptrip curve samples folded
 // into a SolveKey. The trip model is an interface, so instead of
 // special-casing concrete types the key fingerprints the model's
@@ -184,8 +228,8 @@ const tripFingerprintSamples = 17
 
 // SolveKey returns the canonical FNV-1a hash of a game instance: the
 // classes (name, count, density atoms) and the semantic fields of cfg.
-// Telemetry sinks (cfg.Metrics, cfg.Tracer) are deliberately excluded —
-// they do not affect the solution. cfg.Workers is likewise excluded:
+// Telemetry sinks (cfg.Metrics, cfg.Tracer, cfg.Span) are deliberately
+// excluded — they do not affect the solution. cfg.Workers is likewise excluded:
 // the parallel class solver reduces deterministically in class order, so
 // every pool size produces a byte-identical Equilibrium. cfg.Kernel and
 // cfg.Accel ARE keyed — their solutions agree only within tolerance, not

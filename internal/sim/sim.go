@@ -89,8 +89,16 @@ type Config struct {
 	Metrics *telemetry.Registry
 	// Tracer, when non-nil, receives per-epoch sim.epoch events (with
 	// sprint decisions aggregated per class), sim.trip / sim.recovery
-	// events, and a final sim.done event as JSONL. Nil disables tracing.
+	// events, and a final sim.done event as JSONL — plus a sim.run span
+	// with per-epoch sim.epoch child spans. Nil disables tracing.
 	Tracer *telemetry.Tracer
+	// Span, when non-nil, parents the run's sim.run span so a caller
+	// (e.g. a benchmark harness) can stitch the simulation into its own
+	// trace; the span's tracer then carries the run's span events. When
+	// nil but Tracer is set, Run roots a fresh trace derived from Seed.
+	// Like Metrics and Tracer, Span is a telemetry sink and never
+	// affects results.
+	Span *telemetry.Span
 	// Interrupt, when non-nil, is consulted at the start of every epoch
 	// with the epoch index about to run. A non-nil return halts the run:
 	// Run aggregates the epochs completed so far and returns the partial
@@ -314,6 +322,10 @@ func Run(cfg Config, pol policy.Policy) (*Result, error) {
 	if tracing {
 		classSprints = make([]int, len(cfg.Groups))
 	}
+	runSpan := cfg.Span.Child("sim.run")
+	if runSpan == nil && tracing {
+		runSpan = cfg.Tracer.StartSpan("sim.run", telemetry.TraceIDFromSeed(cfg.Seed))
+	}
 
 	completed := cfg.Epochs
 	var interrupted *InterruptError
@@ -326,6 +338,7 @@ func Run(cfg Config, pol policy.Policy) (*Result, error) {
 				break
 			}
 		}
+		epochSpan := runSpan.Child("sim.epoch")
 		// Phase 1: utilities and sprint decisions.
 		nS := 0
 		nRecover := 0
@@ -465,6 +478,15 @@ func Run(cfg Config, pol policy.Policy) (*Result, error) {
 			rackRecovering = false
 		}
 		pol.EpochEnd(epoch, nS, tripped)
+		if epochSpan != nil {
+			// Built behind the nil check so unspanned runs do not pay a
+			// Fields allocation per epoch.
+			epochSpan.EndWith(telemetry.Fields{
+				"epoch":     epoch,
+				"sprinters": nS,
+				"tripped":   tripped,
+			})
+		}
 	}
 
 	// Aggregate over the epochs that actually ran: completed equals
@@ -527,6 +549,12 @@ func Run(cfg Config, pol policy.Policy) (*Result, error) {
 			"trips":     res.Trips,
 		})
 	}
+	runSpan.EndWith(telemetry.Fields{
+		"policy":    res.Policy,
+		"epochs":    res.Epochs,
+		"task_rate": res.TaskRate,
+		"trips":     res.Trips,
+	})
 	if interrupted != nil {
 		return res, interrupted
 	}

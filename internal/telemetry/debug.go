@@ -13,6 +13,7 @@ import (
 // runtime's standard debug surfaces:
 //
 //	/metrics          registry snapshot as JSON
+//	/metrics?format=prom   the same in Prometheus text exposition format
 //	/debug/vars       expvar (memstats, cmdline)
 //	/debug/pprof/     pprof index, plus profile/heap/goroutine/...
 //	/                 plain-text index of the above
@@ -21,8 +22,17 @@ import (
 func Handler(reg *Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		_ = reg.WriteJSON(w)
+		switch format := r.URL.Query().Get("format"); format {
+		case "", "json":
+			w.Header().Set("Content-Type", "application/json")
+			_ = reg.WriteJSON(w)
+		case "prom", "prometheus":
+			w.Header().Set("Content-Type", PrometheusContentType)
+			_ = reg.WritePrometheus(w)
+		default:
+			http.Error(w, fmt.Sprintf("unknown format %q (want json or prom)", format),
+				http.StatusBadRequest)
+		}
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -37,7 +47,7 @@ func Handler(reg *Registry) http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "sprintgame debug endpoint")
-		fmt.Fprintln(w, "  /metrics        metrics registry (JSON)")
+		fmt.Fprintln(w, "  /metrics        metrics registry (JSON; ?format=prom for Prometheus text)")
 		fmt.Fprintln(w, "  /debug/vars     expvar")
 		fmt.Fprintln(w, "  /debug/pprof/   pprof profiles")
 	})

@@ -1,0 +1,65 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("coord.requests").Add(5)
+	r.Gauge("solver.residual").Set(0.125)
+	h := r.Histogram("coord.request_latency_s", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(3)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE coord_requests counter\ncoord_requests 5\n",
+		"# TYPE solver_residual gauge\nsolver_residual 0.125\n",
+		"# TYPE coord_request_latency_s histogram\n",
+		`coord_request_latency_s_bucket{le="0.001"} 2`,
+		// Buckets are cumulative in the exposition format.
+		`coord_request_latency_s_bucket{le="0.01"} 3`,
+		`coord_request_latency_s_bucket{le="+Inf"} 4`,
+		"coord_request_latency_s_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, ".") && strings.Contains(out, "coord.request") {
+		t.Errorf("dotted metric name leaked into exposition:\n%s", out)
+	}
+}
+
+func TestWritePrometheusNilRegistry(t *testing.T) {
+	var r *Registry
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("nil registry exposition = %q", buf.String())
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"coord.requests.submit": "coord_requests_submit",
+		"9lives":                "_9lives",
+		"ok_name:x":             "ok_name:x",
+		"sim epochs!":           "sim_epochs_",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -71,32 +71,54 @@ func (g *Gauge) Value() float64 {
 // Histogram accumulates observations into fixed buckets. Bucket i counts
 // observations <= Bounds[i]; observations above the last bound land in an
 // overflow bucket. Bounds are set at creation and never change.
+//
+// Observe is lock-free: each bucket is an atomic counter and the
+// sum/min/max moments are maintained by CAS loops, so the histogram can
+// sit on a serving hot path (the coordinator observes one latency per
+// request) without a per-instrument mutex serializing requests. The
+// observation count is not stored separately — it is the sum of the
+// bucket counters, so Count always equals the bucket total and a
+// Snapshot's buckets are mutually consistent. Sum/Min/Max are updated
+// by separate atomics and may trail the buckets by in-flight
+// observations; every value read is one some Observe actually wrote.
 type Histogram struct {
-	mu       sync.Mutex
-	bounds   []float64
-	counts   []int64 // len(bounds)+1; last is overflow
-	count    int64
-	sum      float64
-	min, max float64
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1; last is overflow
+	sumBits atomic.Uint64  // float64 bits, CAS-accumulated
+	minBits atomic.Uint64  // float64 bits, +Inf until first Observe
+	maxBits atomic.Uint64  // float64 bits, -Inf until first Observe
 }
 
-// Observe records one observation.
+// newHistogram builds a histogram over the given sorted bounds.
+func newHistogram(bounds []float64) *Histogram {
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// casAccumulate folds v into an atomically-held float64 via CAS.
+func casAccumulate(bits *atomic.Uint64, v float64, fold func(old, v float64) float64) {
+	for {
+		old := bits.Load()
+		next := math.Float64bits(fold(math.Float64frombits(old), v))
+		if next == old || bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Observe records one observation. Lock-free and safe for concurrent
+// use with other Observes and Snapshots.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
-	h.mu.Lock()
 	i := sort.SearchFloat64s(h.bounds, v)
-	h.counts[i]++
-	if h.count == 0 || v < h.min {
-		h.min = v
-	}
-	if h.count == 0 || v > h.max {
-		h.max = v
-	}
-	h.count++
-	h.sum += v
-	h.mu.Unlock()
+	h.counts[i].Add(1)
+	casAccumulate(&h.sumBits, v, func(old, v float64) float64 { return old + v })
+	casAccumulate(&h.minBits, v, math.Min)
+	casAccumulate(&h.maxBits, v, math.Max)
 }
 
 // HistogramBucket is one bucket of a histogram snapshot. Le is the
@@ -151,36 +173,96 @@ type HistogramSnapshot struct {
 	Buckets []HistogramBucket `json:"buckets"`
 }
 
-// Snapshot copies the histogram's current state.
+// Snapshot copies the histogram's current state. Count is derived from
+// the bucket counters, so it always equals the sum over Buckets even
+// while other goroutines keep observing.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	if h == nil {
 		return HistogramSnapshot{}
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
-	if h.count > 0 {
-		s.Mean = h.sum / float64(h.count)
+	s := HistogramSnapshot{
+		Sum: math.Float64frombits(h.sumBits.Load()),
+		Min: math.Float64frombits(h.minBits.Load()),
+		Max: math.Float64frombits(h.maxBits.Load()),
 	}
 	s.Buckets = make([]HistogramBucket, len(h.counts))
-	for i, c := range h.counts {
+	for i := range h.counts {
 		le := math.Inf(1)
 		if i < len(h.bounds) {
 			le = h.bounds[i]
 		}
+		c := h.counts[i].Load()
 		s.Buckets[i] = HistogramBucket{Le: le, Count: c}
+		s.Count += c
+	}
+	if s.Count > 0 {
+		s.Mean = s.Sum / float64(s.Count)
+	} else {
+		// Preserve the zero-value presentation: an empty histogram
+		// reports 0 moments, not the +/-Inf sentinels.
+		s.Sum, s.Min, s.Max = 0, 0, 0
 	}
 	return s
 }
 
-// Count returns the number of observations.
+// Count returns the number of observations (the sum of all bucket
+// counters).
 func (h *Histogram) Count() int64 {
 	if h == nil {
 		return 0
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.count
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Percentile returns the q-quantile (q in [0, 1]) estimated from the
+// current bucket counts; see HistogramSnapshot.Quantile.
+func (h *Histogram) Percentile(q float64) float64 {
+	return h.Snapshot().Quantile(q)
+}
+
+// Quantile returns the q-quantile (q in [0, 1]) of the snapshot by
+// linear interpolation inside the bucket holding the target rank,
+// clamped to the observed [Min, Max]. With a high-resolution bucket
+// layout (see LatencyBuckets) the interpolation error is bounded by the
+// bucket width, which is what a p50/p90/p99/p99.9 report needs. An
+// empty snapshot returns 0; q outside [0, 1] is clamped.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	q = math.Min(1, math.Max(0, q))
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, b := range s.Buckets {
+		if b.Count == 0 {
+			cum += b.Count
+			continue
+		}
+		if float64(cum+b.Count) >= rank {
+			lo := s.Min
+			if i > 0 {
+				lo = s.Buckets[i-1].Le
+			}
+			hi := b.Le
+			if math.IsInf(hi, 1) {
+				hi = s.Max
+			}
+			lo = math.Max(lo, s.Min)
+			hi = math.Min(hi, s.Max)
+			if hi <= lo {
+				return math.Min(math.Max(lo, s.Min), s.Max)
+			}
+			frac := (rank - float64(cum)) / float64(b.Count)
+			frac = math.Min(1, math.Max(0, frac))
+			return lo + frac*(hi-lo)
+		}
+		cum += b.Count
+	}
+	return s.Max
 }
 
 // LinearBuckets returns n bucket upper bounds start, start+width, ...
@@ -193,6 +275,15 @@ func LinearBuckets(start, width float64, n int) []float64 {
 		b[i] = start + width*float64(i)
 	}
 	return b
+}
+
+// LatencyBuckets returns a high-resolution latency layout in seconds:
+// 84 exponential buckets from 1 µs to ~125 s with a 1.25 growth factor,
+// i.e. ~12 buckets per decade. Tail quantiles interpolated from this
+// layout (HistogramSnapshot.Quantile) carry at most one bucket width of
+// error — tight enough to report p50/p90/p99/p99.9 for a serving path.
+func LatencyBuckets() []float64 {
+	return ExponentialBuckets(1e-6, 1.25, 84)
 }
 
 // ExponentialBuckets returns n bucket upper bounds start, start*factor, ...
@@ -274,7 +365,7 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 		bs := make([]float64, len(bounds))
 		copy(bs, bounds)
 		sort.Float64s(bs)
-		h = &Histogram{bounds: bs, counts: make([]int64, len(bs)+1)}
+		h = newHistogram(bs)
 		r.histograms[name] = h
 	}
 	return h

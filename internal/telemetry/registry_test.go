@@ -137,6 +137,115 @@ func TestSnapshotJSONRoundTrips(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", LatencyBuckets())
+	// 1..1000 ms: the q-quantile of the underlying data is ~q seconds.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 1000)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 0.500}, {0.90, 0.900}, {0.99, 0.990}, {0.999, 0.999},
+	} {
+		got := h.Percentile(tc.q)
+		// Interpolation error is bounded by one bucket width (factor 1.25).
+		if got < tc.want/1.25 || got > tc.want*1.25 {
+			t.Errorf("Percentile(%v) = %v, want ~%v", tc.q, got, tc.want)
+		}
+	}
+	if got := h.Percentile(0); got < 0.001/1.25 || got > 0.00125 {
+		t.Errorf("Percentile(0) = %v, want ~min", got)
+	}
+	if got := h.Percentile(1); got != 1.0 {
+		t.Errorf("Percentile(1) = %v, want max 1.0", got)
+	}
+	// Out-of-range q clamps; empty histogram reports 0.
+	if h.Percentile(2) != h.Percentile(1) {
+		t.Error("q > 1 should clamp to the max quantile")
+	}
+	if got := r.Histogram("empty", nil).Percentile(0.5); got != 0 {
+		t.Errorf("empty Percentile = %v", got)
+	}
+	var nilH *Histogram
+	if got := nilH.Percentile(0.5); got != 0 {
+		t.Errorf("nil Percentile = %v", got)
+	}
+}
+
+func TestHistogramQuantileSingleObservation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("one", LatencyBuckets())
+	h.Observe(0.25)
+	for _, q := range []float64{0, 0.5, 0.999, 1} {
+		if got := h.Percentile(q); got != 0.25 {
+			t.Errorf("Percentile(%v) = %v, want exactly 0.25 (clamped to [min,max])", q, got)
+		}
+	}
+}
+
+// TestHistogramObserveLockFreeRace hammers one histogram from many
+// goroutines while snapshotting, asserting the lock-free Observe keeps
+// Snapshot internally consistent: Count always equals the bucket total,
+// and never exceeds the number of completed observations. Run under
+// -race by scripts/check.sh.
+func TestHistogramObserveLockFreeRace(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("hot", LinearBuckets(0, 10, 8))
+	const goroutines, perG = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64((g*perG + i) % 100))
+			}
+		}(g)
+	}
+	// Buffered for every snapshot: nothing drains the channel until the
+	// snapshotter is done, so a smaller buffer would block it forever.
+	const snapshotCount = 200
+	snapshots := make(chan HistogramSnapshot, snapshotCount)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < snapshotCount; i++ {
+			snapshots <- h.Snapshot()
+		}
+		close(snapshots)
+	}()
+	wg.Wait()
+	<-done
+	for s := range snapshots {
+		var bucketTotal int64
+		for _, b := range s.Buckets {
+			bucketTotal += b.Count
+		}
+		if s.Count != bucketTotal {
+			t.Fatalf("snapshot count %d != bucket total %d", s.Count, bucketTotal)
+		}
+		if s.Count > goroutines*perG {
+			t.Fatalf("snapshot count %d exceeds observations", s.Count)
+		}
+	}
+	final := h.Snapshot()
+	if final.Count != goroutines*perG {
+		t.Fatalf("final count = %d, want %d", final.Count, goroutines*perG)
+	}
+	wantSum := 0.0
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < perG; i++ {
+			wantSum += float64((g*perG + i) % 100)
+		}
+	}
+	if math.Abs(final.Sum-wantSum) > 1e-6*wantSum {
+		t.Errorf("final sum = %v, want %v", final.Sum, wantSum)
+	}
+	if final.Min != 0 || final.Max != 99 {
+		t.Errorf("min/max = %v/%v, want 0/99", final.Min, final.Max)
+	}
+}
+
 func TestRegistryConcurrency(t *testing.T) {
 	// Exercised under -race by scripts/check.sh: hammer one registry from
 	// many goroutines while snapshotting.

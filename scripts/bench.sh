@@ -51,3 +51,16 @@ go test -run '^$' \
 json_from_bench <"$RAW" >BENCH_core.json
 echo "wrote BENCH_core.json:"
 cat BENCH_core.json
+
+# Serving-path benchmark: closed-loop load against an in-process
+# coordinator (TCP wire protocol, solve cache, profile churn), reported
+# as throughput plus p50/p99/p99.9 latency. coordbench writes the JSON
+# itself — requests/sec and tail percentiles, not ns/op — so this stage
+# bypasses json_from_bench.
+BENCH_COORD_REQUESTS="${BENCH_COORD_REQUESTS:-2000}"
+go build -o "$RAW.coordbench" ./cmd/coordbench
+"$RAW.coordbench" -mode closed -concurrency 8 -requests "$BENCH_COORD_REQUESTS" \
+	-classes 3 -agents 256 -churn 0.05 -out BENCH_coord.json
+rm -f "$RAW.coordbench"
+echo "wrote BENCH_coord.json:"
+cat BENCH_coord.json

@@ -28,6 +28,12 @@ go build ./...
 echo "== go test -race -short -run 'Differential|Parallel|Warm|Kernel|Aitken|Prefix' ./internal/core ./internal/dist"
 go test -race -short -run 'Differential|Parallel|Warm|Kernel|Aitken|Prefix' ./internal/core ./internal/dist
 
+# The lock-free histogram and the span/tracer layer sit on the
+# coordinator's per-request hot path; their dedicated race tests
+# (concurrent Observe/Snapshot, concurrent span emission) run early.
+echo "== go test -race ./internal/telemetry"
+go test -race ./internal/telemetry
+
 echo "== go test -race -short ./internal/cluster/..."
 go test -race -short ./internal/cluster/...
 
@@ -40,5 +46,19 @@ go test -race -run Fault ./internal/cluster
 
 echo "== go test -race ./..."
 go test -race ./...
+
+# Smoke the serving-path observability pipeline end to end: a short
+# closed-loop coordbench run against an in-process server with span
+# tracing on, then traceview over the captured trace. This catches
+# wiring regressions (spans that stop nesting, phases that vanish)
+# that unit tests on individual spans would miss.
+echo "== coordbench/traceview smoke"
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+go build -o "$SMOKE/coordbench" ./cmd/coordbench
+go build -o "$SMOKE/traceview" ./cmd/traceview
+"$SMOKE/coordbench" -mode closed -concurrency 2 -requests 40 \
+	-classes 2 -agents 64 -trace "$SMOKE/spans.jsonl" -out "$SMOKE/bench.json" >/dev/null
+"$SMOKE/traceview" "$SMOKE/spans.jsonl" | grep -q 'coord.request'
 
 echo "ok"
