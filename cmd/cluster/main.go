@@ -4,11 +4,19 @@
 // sprinter spread) and a shared equilibrium solve cache so racks with
 // the same workload mix solve the game once.
 //
+// With -arrivals the cluster switches from batch mode ("run R racks to
+// completion") to serving mode: jobs arrive during simulation per the
+// given arrival process and a routing policy (-route) assigns each one
+// to a rack using live snapshots — queue depth, sprint headroom, trip
+// margin, liveness. See internal/route.
+//
 // Usage:
 //
 //	cluster -racks 16 -chips 256 -epochs 2000 -policy equilibrium
 //	cluster -racks 8 -app decision,pagerank -rotate -trace cluster.jsonl
 //	cluster -racks 32 -workers 4 -metrics metrics.json -debug-addr 127.0.0.1:6060
+//	cluster -racks 8 -arrivals poisson:rate=400,units=4 -route sprint-aware
+//	cluster -arrivals trace:scale=0.05 -trace-replay traces.json -faults 0.2
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"sprintgame/internal/cluster"
 	"sprintgame/internal/core"
 	"sprintgame/internal/power"
+	"sprintgame/internal/route"
 	"sprintgame/internal/sim"
 	"sprintgame/internal/telemetry"
 	"sprintgame/internal/workload"
@@ -42,6 +51,9 @@ func main() {
 		transient = flag.Bool("fault-transient", false, "injected faults are transient: retried attempts run clean")
 		retries   = flag.Int("max-retries", 0, "retry attempts per restartable rack failure")
 		partial   = flag.Bool("allow-partial", false, "aggregate surviving racks when some racks fail instead of erroring")
+		arrivals  = flag.String("arrivals", "", "serving mode: arrival spec (poisson:rate=...,units=..., diurnal:..., trace:...)")
+		routeName = flag.String("route", "least-loaded", "serving mode: routing policy (round-robin | random | least-loaded | sprint-aware)")
+		replay    = flag.String("trace-replay", "", "serving mode: trace-set file (cmd/tracegen output) for arrival kind \"trace\"")
 		traceOut  = flag.String("trace", "", "write cluster.epoch/cluster.rack JSONL events to this file ('-' for stdout)")
 		metricsTo = flag.String("metrics", "", "write the final metrics registry as JSON to this file ('-' for stdout)")
 		debugAddr = flag.String("debug-addr", "", "serve the debug endpoint (/metrics, /debug/pprof, /debug/vars) on this address while running")
@@ -120,7 +132,7 @@ func main() {
 		faults.Transient = *transient
 	}
 
-	res, err := cluster.Run(cluster.Config{
+	ccfg := cluster.Config{
 		Racks:        specs,
 		Epochs:       *epochs,
 		BaseSeed:     *seed,
@@ -132,7 +144,20 @@ func main() {
 		Faults:       faults,
 		AllowPartial: *partial,
 		MaxRetries:   *retries,
-	})
+	}
+
+	if *arrivals != "" {
+		serve(ccfg, *arrivals, *routeName, *replay, *polName)
+		writeMetrics(metrics, *metricsTo)
+		if *polName == "equilibrium" {
+			st := cache.Stats()
+			fmt.Printf("solve cache: %d solves, %d hits, %d coalesced (hit rate %.0f%%)\n",
+				st.Misses, st.Hits, st.Coalesced, 100*st.HitRate())
+		}
+		return
+	}
+
+	res, err := cluster.Run(ccfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -170,17 +195,81 @@ func main() {
 			st.Misses, st.Hits, st.Coalesced, 100*st.HitRate())
 	}
 
-	if *metricsTo != "" {
-		w, closeMetrics, err := openSink(*metricsTo)
+	writeMetrics(metrics, *metricsTo)
+}
+
+// serve runs the event-driven serving mode: arrivals fire during
+// simulation and the routing policy places each job using live rack
+// snapshots (internal/route).
+func serve(ccfg cluster.Config, arrivalSpec, routeName, replayPath, sprintName string) {
+	var ts *workload.TraceSet
+	if replayPath != "" {
+		f, err := os.Open(replayPath)
 		if err != nil {
 			fatal(err)
 		}
-		if err := metrics.WriteJSON(w); err != nil {
-			fatal(fmt.Errorf("metrics %s: %w", *metricsTo, err))
+		ts, err = workload.LoadTraceSet(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
 		}
-		if err := closeMetrics(); err != nil {
-			fatal(fmt.Errorf("metrics %s: %w", *metricsTo, err))
+	}
+	arr, err := route.LoadArrivals(arrivalSpec, ts)
+	if err != nil {
+		fatal(err)
+	}
+	router, err := route.ByName(routeName, cluster.MixSeed(ccfg.BaseSeed, -3)^0x5eed)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := route.Serve(route.Config{Cluster: ccfg, Arrivals: arr, Router: router})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("cluster (serving): %d racks x %d epochs, sprint=%s, route=%s, arrivals=%s, workers=%d (NumCPU=%d)\n",
+		len(res.Racks), res.Epochs, sprintName, res.Policy, res.Arrivals, res.Workers, runtime.NumCPU())
+	if len(res.Failed) > 0 {
+		fmt.Printf("DEGRADED: %d racks died mid-run; their queues were rerouted to survivors\n", len(res.Failed))
+		for _, f := range res.Failed {
+			fmt.Printf("  %-8s died: %v\n", f.Name, f.Err)
 		}
+	}
+	fmt.Printf("jobs: %d arrived = %d completed + %d still queued (%d rerouted off dead racks)\n",
+		res.Arrived, res.Completed, res.Unfinished, res.Rerouted)
+	fmt.Printf("throughput: %.1f units/epoch (%.2f jobs/epoch), %.0f of %.0f offered units served\n",
+		res.Throughput, res.JobsPerEpoch, res.UnitsCompleted, res.UnitsArrived)
+	fmt.Printf("latency (epochs): p50 %.1f  p90 %.1f  p99 %.1f  p99.9 %.1f  mean %.1f  max %.0f\n",
+		res.Latency.P50, res.Latency.P90, res.Latency.P99, res.Latency.P999,
+		res.Latency.Mean, res.Latency.Max)
+	for i, r := range res.Racks {
+		state := "alive"
+		if !r.Alive {
+			state = "DEAD"
+		}
+		fmt.Printf("  %-8s %-5s epochs=%-5d jobs=%-6d units=%-9.0f queue=%d\n",
+			r.Name, state, r.Epochs, r.Jobs, r.Units, r.QueueDepth)
+		if i >= 15 && len(res.Racks) > 17 {
+			fmt.Printf("  ... %d more racks\n", len(res.Racks)-i-1)
+			break
+		}
+	}
+}
+
+// writeMetrics dumps the registry to the -metrics sink, if any.
+func writeMetrics(metrics *telemetry.Registry, path string) {
+	if path == "" {
+		return
+	}
+	w, closeMetrics, err := openSink(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := metrics.WriteJSON(w); err != nil {
+		fatal(fmt.Errorf("metrics %s: %w", path, err))
+	}
+	if err := closeMetrics(); err != nil {
+		fatal(fmt.Errorf("metrics %s: %w", path, err))
 	}
 }
 

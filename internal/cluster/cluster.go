@@ -243,6 +243,14 @@ func (r *Result) FailureErr() error {
 	return errors.Join(errs...)
 }
 
+// MixSeed derives the seed for stream idx from the cluster base seed
+// with a SplitMix64 finalizer, so derived streams are decorrelated even
+// for adjacent base seeds and indices. Racks use idx >= 0; negative
+// indices are sentinels for auxiliary streams no rack can collide with
+// (-1 fault schedule, -2 cluster trace ID, -3 serving-layer arrivals,
+// -4 serving-layer trace ID — see internal/route).
+func MixSeed(base uint64, idx int) uint64 { return mixSeed(base, idx) }
+
 // mixSeed derives rack i's seed from the cluster base seed with a
 // SplitMix64 finalizer, so per-rack streams are decorrelated even for
 // adjacent base seeds and rack indices.
@@ -278,6 +286,16 @@ func (c Config) rackConfig(i int) sim.Config {
 		RecordSeries: c.RecordSeries || c.Tracer.Enabled(),
 	}
 }
+
+// RackSimConfig resolves rack i's fully-specified simulation
+// configuration — derived seed, per-rack game override, telemetry
+// sinks nil'd per the determinism contract. The serving layer
+// (internal/route) uses it to build per-rack Steppers that reproduce
+// exactly what a batch Run would simulate.
+func (c Config) RackSimConfig(i int) sim.Config { return c.rackConfig(i) }
+
+// RackName resolves rack i's label ("rack<i>" when unnamed).
+func (c Config) RackName(i int) string { return c.rackName(i) }
 
 // rackOutcome is one rack's terminal state: exactly one of res and err
 // is non-nil. start/dur record the rack's wall-clock window on its
@@ -395,7 +413,7 @@ func Run(cfg Config) (*Result, error) {
 
 	var kills []int
 	if cfg.Faults.Active() {
-		kills = cfg.Faults.schedule(cfg.BaseSeed, len(cfg.Racks), cfg.Epochs)
+		kills = cfg.Faults.Schedule(cfg.BaseSeed, len(cfg.Racks), cfg.Epochs)
 	}
 	runStart := time.Now()
 	outcomes := make([]rackOutcome, len(cfg.Racks))
@@ -579,7 +597,12 @@ func emitTrace(cfg Config, out *Result, outcomes []rackOutcome, runStart time.Ti
 			"recovering": recovering,
 		})
 	}
-	for _, r := range out.Racks {
+	for i := range out.Racks {
+		r := &out.Racks[i]
+		// The nested snapshot is the same observable routing policies
+		// consume live in serving mode, so traceview and route.Policy
+		// read one structure (queue depth is 0 here: batch runs have
+		// no queues).
 		t.Emit("cluster.rack", telemetry.Fields{
 			"rack":      r.Rack,
 			"name":      r.Name,
@@ -589,6 +612,7 @@ func emitTrace(cfg Config, out *Result, outcomes []rackOutcome, runStart time.Ti
 			"policy":    r.Sim.Policy,
 			"task_rate": r.Sim.TaskRate,
 			"trips":     r.Sim.Trips,
+			"snapshot":  cfg.Snapshot(r).Fields(),
 		})
 	}
 	// The pool size is deliberately left out: the trace must be

@@ -52,11 +52,13 @@ func (p *FaultPlan) validate(racks, epochs int) error {
 	return nil
 }
 
-// schedule resolves the kill epoch for every rack (-1 = no kill).
+// Schedule resolves the kill epoch for every rack (-1 = no kill).
 // Explicit Kills win; Rate-selected kills draw from a stream seeded by
 // mixSeed(baseSeed, -1), which no rack uses (rack i's derived seed is
-// mixSeed(baseSeed, i) with i >= 0).
-func (p *FaultPlan) schedule(baseSeed uint64, racks, epochs int) []int {
+// mixSeed(baseSeed, i) with i >= 0). The schedule depends only on the
+// base seed and the cluster shape, never on Workers — both the batch
+// engine and the serving layer (internal/route) resolve it up front.
+func (p *FaultPlan) Schedule(baseSeed uint64, racks, epochs int) []int {
 	kills := make([]int, racks)
 	for i := range kills {
 		kills[i] = -1

@@ -18,7 +18,7 @@ func TestFaultPlanSchedule(t *testing.T) {
 	if nilPlan.Active() {
 		t.Error("nil plan must be inactive")
 	}
-	none := (&FaultPlan{}).schedule(7, 4, 100)
+	none := (&FaultPlan{}).Schedule(7, 4, 100)
 	for i, e := range none {
 		if e != -1 {
 			t.Errorf("inactive plan killed rack %d at %d", i, e)
@@ -26,8 +26,8 @@ func TestFaultPlanSchedule(t *testing.T) {
 	}
 
 	plan := &FaultPlan{Rate: 0.5, Kills: map[int]int{2: 33}}
-	a := plan.schedule(7, 16, 100)
-	b := plan.schedule(7, 16, 100)
+	a := plan.Schedule(7, 16, 100)
+	b := plan.Schedule(7, 16, 100)
 	if !reflect.DeepEqual(a, b) {
 		t.Error("schedule is not deterministic for a fixed base seed")
 	}
@@ -46,7 +46,7 @@ func TestFaultPlanSchedule(t *testing.T) {
 	if killed == 0 || killed == 16 {
 		t.Errorf("rate 0.5 over 16 racks killed %d, want a mixed outcome", killed)
 	}
-	if c := plan.schedule(8, 16, 100); reflect.DeepEqual(a, c) {
+	if c := plan.Schedule(8, 16, 100); reflect.DeepEqual(a, c) {
 		t.Error("different base seeds produced the same rate-driven schedule")
 	}
 }

@@ -1,0 +1,37 @@
+package route
+
+import (
+	"testing"
+)
+
+// FuzzParseArrivalConfig hammers the arrival-spec parser: any input
+// must either produce a config whose non-trace kinds build cleanly, or
+// fail with an error — never panic.
+func FuzzParseArrivalConfig(f *testing.F) {
+	f.Add("poisson")
+	f.Add("poisson:rate=12,units=3")
+	f.Add("diurnal:base=8,amp=6,period=200,burst=3,pburst=0.02,dwell=10,units=2")
+	f.Add("trace:scale=0.05")
+	f.Add("poisson:rate=1e308,units=1e-308")
+	f.Add("diurnal:pburst=,")
+	f.Add(":::===,,,")
+	f.Add("poisson:rate=-0")
+	f.Fuzz(func(t *testing.T, spec string) {
+		cfg, err := ParseArrivalConfig(spec)
+		if err != nil {
+			return
+		}
+		if cfg.Kind == "" {
+			t.Fatalf("parsed %q into empty kind", spec)
+		}
+		if err := cfg.Validate(); err != nil {
+			return
+		}
+		if cfg.Kind == "trace" {
+			return // building needs a trace set
+		}
+		if _, err := cfg.Build(nil); err != nil {
+			t.Fatalf("Validate accepted %q but Build failed: %v", spec, err)
+		}
+	})
+}

@@ -21,7 +21,6 @@ import (
 
 	"sprintgame/internal/core"
 	"sprintgame/internal/policy"
-	"sprintgame/internal/stats"
 	"sprintgame/internal/telemetry"
 	"sprintgame/internal/workload"
 )
@@ -226,335 +225,27 @@ type Result struct {
 // halts the run mid-way, Run returns the partial Result (aggregated
 // over the completed epochs) together with a non-nil *InterruptError;
 // every other error path returns a nil Result.
+//
+// Run is a driver over the same epoch machine as Stepper: it loops
+// step() to completion in one call. Callers that need to interleave
+// work between epochs (the serving layer's arrival-time routing) use
+// a Stepper instead.
 func Run(cfg Config, pol policy.Policy) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
+	st, err := newRunState(cfg, pol)
+	if err != nil {
 		return nil, err
 	}
-	if pol == nil {
-		return nil, errors.New("sim: nil policy")
-	}
-	master := stats.NewRNG(cfg.Seed)
-	agents := make([]agent, 0, cfg.Game.N)
-	groupIdx := make(map[string]int, len(cfg.Groups))
-	for gi, g := range cfg.Groups {
-		groupIdx[g.Class] = gi
-		for i := 0; i < g.Count; i++ {
-			var src utilitySource
-			if g.TraceSet != nil {
-				tr := g.TraceSet.Traces[i%len(g.TraceSet.Traces)]
-				rep, err := workload.NewReplayer(tr, master.Intn(tr.Len()))
-				if err != nil {
-					return nil, fmt.Errorf("sim: group %q: %w", g.Class, err)
-				}
-				src = rep
-			} else {
-				gen, err := workload.NewTraceGenerator(g.Bench, master.Uint64())
-				if err != nil {
-					return nil, fmt.Errorf("sim: group %q: %w", g.Class, err)
-				}
-				src = gen
-			}
-			agents = append(agents, agent{class: g.Class, state: Active, trace: src})
-		}
-	}
-	rackRNG := master.Split()
-
-	res := &Result{Policy: pol.Name(), Epochs: cfg.Epochs}
-	res.Groups = make([]GroupResult, len(cfg.Groups))
-	for gi, g := range cfg.Groups {
-		res.Groups[gi] = GroupResult{Class: g.Class, Count: g.Count}
-	}
-	if cfg.RecordSeries {
-		res.SprintersPerEpoch = make([]int, cfg.Epochs)
-		res.RecoveringPerEpoch = make([]int, cfg.Epochs)
-	}
-
-	type tally struct {
-		units                             float64
-		sprint, activeIdle, cool, recover float64
-		sprintUtil                        float64
-		sprintCount                       float64
-	}
-	tallies := make([]tally, len(cfg.Groups))
-	var agentUnits map[int]float64
-	var agentSprints map[int]int
-	if len(cfg.TrackAgents) > 0 {
-		agentUnits = make(map[int]float64, len(cfg.TrackAgents))
-		agentSprints = make(map[int]int, len(cfg.TrackAgents))
-		for _, id := range cfg.TrackAgents {
-			if id < 0 || id >= len(agents) {
-				return nil, fmt.Errorf("sim: tracked agent %d out of range", id)
-			}
-			agentUnits[id] = 0
-			agentSprints[id] = 0
-		}
-	}
-
-	sprinting := make([]bool, len(agents))
-	utilities := make([]float64, len(agents))
-	// holdUntil enforces the rack's dI/dt stagger: after recovery ends,
-	// each agent's sprint permission is delayed by 0 or 1 epochs (§2.2:
-	// "The rack must stagger the distribution of sprinting permissions").
-	holdUntil := make([]int, len(agents))
-	// rackRecovering tracks the shared battery recharge: a power
-	// emergency puts the whole rack into recovery, and all agents return
-	// together once the batteries have recharged (shared UPS, §2.2). The
-	// per-epoch exit probability 1-pr makes the expected recovery last
-	// 1/(1-pr) epochs, as in the paper's agent-state model.
-	rackRecovering := false
-	// recoveryExit is the per-epoch probability that the current
-	// recovery ends. The UPS discharges in proportion to the number of
-	// sprinters it carried through the trip, and recharge time scales
-	// with discharge depth (§2.2's 8-10x recharge window is calibrated at
-	// the Nmin overload), so deeper emergencies recover more slowly.
-	recoveryExit := 1 - cfg.Game.Pr
-	nMin, _ := cfg.Game.Trip.Bounds()
-
-	// Telemetry instruments are hoisted out of the epoch loop; with a nil
-	// registry/tracer each per-epoch call is a single nil test.
-	epochCounter := cfg.Metrics.Counter("sim.epochs")
-	tripCounter := cfg.Metrics.Counter("power.trips")
-	recoveryCounter := cfg.Metrics.Counter("sim.recoveries")
-	sprinterHist := cfg.Metrics.Histogram("sim.sprinters_per_epoch",
-		telemetry.LinearBuckets(0, float64(cfg.Game.N)/10, 11))
-	tracing := cfg.Tracer.Enabled()
-	var classSprints []int // per-epoch sprint decisions by group, for the tracer
-	if tracing {
-		classSprints = make([]int, len(cfg.Groups))
-	}
-	runSpan := cfg.Span.Child("sim.run")
-	if runSpan == nil && tracing {
-		runSpan = cfg.Tracer.StartSpan("sim.run", telemetry.TraceIDFromSeed(cfg.Seed))
-	}
-
-	completed := cfg.Epochs
 	var interrupted *InterruptError
-
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		if cfg.Interrupt != nil {
 			if cause := cfg.Interrupt(epoch); cause != nil {
-				completed = epoch
 				interrupted = &InterruptError{Epoch: epoch, Cause: cause}
 				break
 			}
 		}
-		epochSpan := runSpan.Child("sim.epoch")
-		// Phase 1: utilities and sprint decisions.
-		nS := 0
-		nRecover := 0
-		if tracing {
-			for gi := range classSprints {
-				classSprints[gi] = 0
-			}
-		}
-		for i := range agents {
-			a := &agents[i]
-			utilities[i] = a.trace.Next()
-			sprinting[i] = false
-			switch a.state {
-			case Active:
-				if epoch >= holdUntil[i] && pol.Decide(policy.Context{
-					AgentID: i, Class: a.class, Epoch: epoch, Utility: utilities[i],
-				}) {
-					sprinting[i] = true
-					nS++
-					if tracing {
-						classSprints[groupIdx[a.class]]++
-					}
-				}
-			case Recovery:
-				nRecover++
-			}
-		}
-
-		// Phase 2: breaker.
-		ptrip := cfg.Game.Trip.Ptrip(float64(nS))
-		tripped := rackRNG.Bool(ptrip)
-		if tripped {
-			res.Trips++
-			tripCounter.Inc()
-		}
-		epochCounter.Inc()
-		sprinterHist.Observe(float64(nS))
-		if cfg.RecordSeries {
-			res.SprintersPerEpoch[epoch] = nS
-			res.RecoveringPerEpoch[epoch] = nRecover
-		}
-		// Does the rack-wide recovery end after this epoch?
-		recoveryEnds := rackRecovering && rackRNG.Bool(recoveryExit)
-		if tripped {
-			depth := 1.0
-			if nMin > 0 && float64(nS) > nMin {
-				depth = float64(nS) / nMin
-			}
-			recoveryExit = (1 - cfg.Game.Pr) / depth
-		}
-		if tracing {
-			byClass := make(map[string]int, len(cfg.Groups))
-			for gi, g := range cfg.Groups {
-				byClass[g.Class] = classSprints[gi]
-			}
-			cfg.Tracer.Emit("sim.epoch", telemetry.Fields{
-				"epoch":      epoch,
-				"sprinters":  nS,
-				"recovering": nRecover,
-				"tripped":    tripped,
-				"by_class":   byClass,
-			})
-			if tripped {
-				cfg.Tracer.Emit("sim.trip", telemetry.Fields{
-					"epoch":         epoch,
-					"sprinters":     nS,
-					"ptrip":         ptrip,
-					"recovery_exit": recoveryExit,
-				})
-			}
-			if recoveryEnds {
-				cfg.Tracer.Emit("sim.recovery", telemetry.Fields{
-					"epoch":      epoch,
-					"recovering": nRecover,
-				})
-			}
-		}
-		if recoveryEnds {
-			recoveryCounter.Inc()
-		}
-
-		// Phase 3: task accounting and state transitions.
-		for i := range agents {
-			a := &agents[i]
-			gi := groupIdx[a.class]
-			ta := &tallies[gi]
-			units := 0.0
-			switch {
-			case sprinting[i]:
-				// The UPS completes sprints in progress even on a trip.
-				units = utilities[i]
-				ta.sprint++
-				ta.sprintUtil += utilities[i]
-				ta.sprintCount++
-			case a.state == Active:
-				units = 1
-				ta.activeIdle++
-			case a.state == Cooling:
-				units = 1
-				ta.cool++
-			default: // Recovery: rack sheds load while recharging.
-				ta.recover++
-			}
-			ta.units += units
-			if agentUnits != nil {
-				if _, ok := agentUnits[i]; ok {
-					agentUnits[i] += units
-					if sprinting[i] {
-						agentSprints[i]++
-					}
-				}
-			}
-
-			// Transitions.
-			if tripped {
-				a.state = Recovery
-				continue
-			}
-			switch {
-			case sprinting[i]:
-				a.state = Cooling
-			case a.state == Cooling:
-				if !rackRNG.Bool(cfg.Game.Pc) {
-					a.state = Active
-				}
-			case a.state == Recovery:
-				if recoveryEnds {
-					a.state = Active
-					holdUntil[i] = epoch + 1 + rackRNG.Intn(2)
-					pol.WakeUp(i, epoch)
-				}
-			}
-		}
-		if tripped {
-			rackRecovering = true
-		} else if recoveryEnds {
-			rackRecovering = false
-		}
-		pol.EpochEnd(epoch, nS, tripped)
-		if epochSpan != nil {
-			// Built behind the nil check so unspanned runs do not pay a
-			// Fields allocation per epoch.
-			epochSpan.EndWith(telemetry.Fields{
-				"epoch":     epoch,
-				"sprinters": nS,
-				"tripped":   tripped,
-			})
-		}
+		st.step()
 	}
-
-	// Aggregate over the epochs that actually ran: completed equals
-	// cfg.Epochs unless Config.Interrupt halted the run early, in which
-	// case rates, shares, and series cover the partial prefix only (a
-	// zero-epoch partial reports zero rates, not NaN).
-	res.Epochs = completed
-	if cfg.RecordSeries && completed < cfg.Epochs {
-		res.SprintersPerEpoch = res.SprintersPerEpoch[:completed]
-		res.RecoveringPerEpoch = res.RecoveringPerEpoch[:completed]
-	}
-	var totUnits, totSprint, totIdle, totCool, totRecover float64
-	for gi := range cfg.Groups {
-		ta := tallies[gi]
-		gr := &res.Groups[gi]
-		if gEpochs := float64(cfg.Groups[gi].Count) * float64(completed); gEpochs > 0 {
-			gr.TaskRate = ta.units / gEpochs
-			gr.Shares = StateShares{
-				Sprinting:  ta.sprint / gEpochs,
-				ActiveIdle: ta.activeIdle / gEpochs,
-				Cooling:    ta.cool / gEpochs,
-				Recovery:   ta.recover / gEpochs,
-			}
-		}
-		if ta.sprintCount > 0 {
-			gr.MeanSprintUtility = ta.sprintUtil / ta.sprintCount
-		}
-		totUnits += ta.units
-		totSprint += ta.sprint
-		totIdle += ta.activeIdle
-		totCool += ta.cool
-		totRecover += ta.recover
-	}
-	if all := float64(cfg.Game.N) * float64(completed); all > 0 {
-		res.TaskRate = totUnits / all
-		res.Shares = StateShares{
-			Sprinting:  totSprint / all,
-			ActiveIdle: totIdle / all,
-			Cooling:    totCool / all,
-			Recovery:   totRecover / all,
-		}
-	}
-	if agentUnits != nil {
-		res.AgentRates = make(map[int]float64, len(agentUnits))
-		for id, u := range agentUnits {
-			if completed > 0 {
-				res.AgentRates[id] = u / float64(completed)
-			} else {
-				res.AgentRates[id] = 0
-			}
-		}
-		res.AgentSprints = agentSprints
-	}
-	cfg.Metrics.Gauge("sim.task_rate").Set(res.TaskRate)
-	if tracing {
-		cfg.Tracer.Emit("sim.done", telemetry.Fields{
-			"policy":    res.Policy,
-			"epochs":    res.Epochs,
-			"task_rate": res.TaskRate,
-			"trips":     res.Trips,
-		})
-	}
-	runSpan.EndWith(telemetry.Fields{
-		"policy":    res.Policy,
-		"epochs":    res.Epochs,
-		"task_rate": res.TaskRate,
-		"trips":     res.Trips,
-	})
+	res := st.finalize()
 	if interrupted != nil {
 		return res, interrupted
 	}

@@ -151,6 +151,36 @@ func (r *RNG) Geometric(p float64) int {
 	return n
 }
 
+// Poisson returns a Poisson variate with the given mean (lambda >= 0).
+// Small means use Knuth's product method; large means (> 30) use a
+// normal approximation clamped at zero, which keeps the cost O(1) for
+// high-rate arrival processes. Poisson(0) == 0.
+func (r *RNG) Poisson(lambda float64) int {
+	if lambda < 0 {
+		panic("stats: Poisson with negative mean")
+	}
+	if lambda == 0 {
+		return 0
+	}
+	if lambda > 30 {
+		n := math.Round(r.NormAt(lambda, math.Sqrt(lambda)))
+		if n < 0 {
+			return 0
+		}
+		return int(n)
+	}
+	limit := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= limit {
+			return k
+		}
+		k++
+	}
+}
+
 // Perm returns a pseudo-random permutation of [0, n).
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)

@@ -247,3 +247,36 @@ func TestRangeBounds(t *testing.T) {
 		}
 	}
 }
+
+func TestPoissonMoments(t *testing.T) {
+	r := NewRNG(7)
+	for _, lambda := range []float64{0.3, 2, 10, 80} {
+		const n = 200000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			k := r.Poisson(lambda)
+			if k < 0 {
+				t.Fatalf("Poisson(%g) returned %d", lambda, k)
+			}
+			sum += float64(k)
+		}
+		mean := sum / n
+		tol := 4 * (lambda + 1) / 100 // a few standard errors
+		if mean < lambda-tol || mean > lambda+tol {
+			t.Errorf("Poisson(%g) mean = %g", lambda, mean)
+		}
+	}
+}
+
+func TestPoissonEdges(t *testing.T) {
+	r := NewRNG(1)
+	if r.Poisson(0) != 0 {
+		t.Error("Poisson(0) should be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Poisson(-1) should panic")
+		}
+	}()
+	r.Poisson(-1)
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"math"
+	"sort"
 	"sync"
 	"testing"
 )
@@ -276,5 +277,24 @@ func TestRegistryConcurrency(t *testing.T) {
 	}
 	if got := r.Histogram("h", nil).Count(); got != 8000 {
 		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestHistogramQuantilesBatch(t *testing.T) {
+	h := NewRegistry().Histogram("q", LinearBuckets(0, 10, 11))
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i % 100))
+	}
+	qs := h.Quantiles(0.5, 0.9, 0.99)
+	if len(qs) != 3 {
+		t.Fatalf("got %d quantiles", len(qs))
+	}
+	for i, q := range []float64{0.5, 0.9, 0.99} {
+		if want := h.Percentile(q); qs[i] != want {
+			t.Errorf("Quantiles[%d] = %g, Percentile(%g) = %g", i, qs[i], q, want)
+		}
+	}
+	if !sort.Float64sAreSorted(qs) {
+		t.Errorf("quantiles not monotone: %v", qs)
 	}
 }

@@ -20,6 +20,27 @@ type Trace struct {
 // Len returns the trace length in epochs.
 func (t *Trace) Len() int { return len(t.Utilities) }
 
+// At returns the trace's utility and base TPS at the given epoch,
+// wrapping modulo the trace length — the access pattern trace-replay
+// consumers (sim replayers, route.TraceArrivals) share. It panics on an
+// empty trace; BaseTPS shorter than Utilities reports 0 TPS past its
+// end rather than wrapping out of phase.
+func (t *Trace) At(epoch int) (utility, baseTPS float64) {
+	n := t.Len()
+	if n == 0 {
+		panic("workload: At on empty trace")
+	}
+	i := epoch % n
+	if i < 0 {
+		i += n
+	}
+	utility = t.Utilities[i]
+	if i < len(t.BaseTPS) {
+		baseTPS = t.BaseTPS[i]
+	}
+	return utility, baseTPS
+}
+
 // TraceGenerator emits phase-structured utility traces for a benchmark.
 // The process is a semi-Markov regime switch: the generator dwells in
 // phase i for a geometric number of epochs with mean Phase.MeanDwell,

@@ -154,3 +154,28 @@ func TestNewTraceGeneratorRejectsInvalid(t *testing.T) {
 		t.Error("invalid benchmark should be rejected")
 	}
 }
+
+func TestTraceAt(t *testing.T) {
+	tr := &Trace{
+		Benchmark: "x",
+		Utilities: []float64{1, 2, 3},
+		BaseTPS:   []float64{10, 20},
+	}
+	for _, tc := range []struct {
+		epoch   int
+		u, base float64
+	}{
+		{0, 1, 10}, {1, 2, 20}, {2, 3, 0}, {3, 1, 10}, {7, 2, 20}, {-1, 3, 0},
+	} {
+		u, base := tr.At(tc.epoch)
+		if u != tc.u || base != tc.base {
+			t.Errorf("At(%d) = (%g, %g), want (%g, %g)", tc.epoch, u, base, tc.u, tc.base)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("At on empty trace should panic")
+		}
+	}()
+	(&Trace{}).At(0)
+}

@@ -64,3 +64,15 @@ go build -o "$RAW.coordbench" ./cmd/coordbench
 rm -f "$RAW.coordbench"
 echo "wrote BENCH_coord.json:"
 cat BENCH_coord.json
+
+# Routing-policy shootout: every policy serves the identical arrival
+# stream on a contended heterogeneous cluster; the report carries
+# per-policy throughput and p50/p90/p99/p99.9 job latency. Like
+# coordbench, routebench writes its own JSON.
+BENCH_ROUTE_EPOCHS="${BENCH_ROUTE_EPOCHS:-600}"
+go build -o "$RAW.routebench" ./cmd/routebench
+"$RAW.routebench" -racks 8 -chips 64 -epochs "$BENCH_ROUTE_EPOCHS" \
+	-load 1.0 -out BENCH_route.json
+rm -f "$RAW.routebench"
+echo "wrote BENCH_route.json:"
+cat BENCH_route.json

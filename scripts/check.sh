@@ -44,6 +44,12 @@ go test -race -short ./internal/cluster/...
 echo "== go test -race -run Fault ./internal/cluster"
 go test -race -run Fault ./internal/cluster
 
+# The serving layer's determinism contract (byte-identical results and
+# traces for any worker count, including under mid-run rack kills) is
+# exactly the kind of guarantee a data race breaks silently.
+echo "== go test -race ./internal/route"
+go test -race ./internal/route
+
 echo "== go test -race ./..."
 go test -race ./...
 
@@ -60,5 +66,18 @@ go build -o "$SMOKE/traceview" ./cmd/traceview
 "$SMOKE/coordbench" -mode closed -concurrency 2 -requests 40 \
 	-classes 2 -agents 64 -trace "$SMOKE/spans.jsonl" -out "$SMOKE/bench.json" >/dev/null
 "$SMOKE/traceview" "$SMOKE/spans.jsonl" | grep -q 'coord.request'
+
+# Same idea for the routing layer: a short policy shootout with span
+# tracing on, then traceview over the capture. Greps pin the span tree
+# (route.dispatch under route.arrival) and the per-epoch events.
+echo "== routebench/traceview smoke"
+go build -o "$SMOKE/routebench" ./cmd/routebench
+"$SMOKE/routebench" -racks 4 -chips 16 -epochs 60 \
+	-policies round-robin,least-loaded \
+	-trace "$SMOKE/route-spans.jsonl" -out "$SMOKE/route-bench.json" >/dev/null
+"$SMOKE/traceview" "$SMOKE/route-spans.jsonl" >"$SMOKE/route-view.txt"
+grep -q 'route.serve' "$SMOKE/route-view.txt"
+grep -q 'route.dispatch' "$SMOKE/route-view.txt"
+grep -q 'cluster.rack' "$SMOKE/route-view.txt"
 
 echo "ok"
