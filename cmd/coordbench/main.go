@@ -15,11 +15,19 @@
 // equilibrium solves — the knob that moves the benchmark between the
 // cache-hit fast path and the solver-bound slow path.
 //
+// The serving topology is configurable: -shards 0 benchmarks a single
+// direct server (the pre-sharding baseline), -shards N puts N shard
+// servers sharing one solve cache behind a consistent-hash router.
+// -proto selects the wire protocol (JSON lines or binary frames) for
+// both the benchmark client and, when sharded, the router→shard hop.
+// -curve sweeps the shard/protocol grid and records every point.
+//
 // Usage:
 //
 //	coordbench -mode closed -concurrency 8 -duration 5s
 //	coordbench -mode open -rate 200 -duration 10s -churn 0.05
-//	coordbench -addr 127.0.0.1:9000 -requests 1000 -out BENCH_coord.json
+//	coordbench -shards 4 -proto binary -requests 2000 -out BENCH_coord.json
+//	coordbench -curve -requests 2000 -out BENCH_coord.json
 //	coordbench -trace spans.jsonl -duration 2s   # then: traceview spans.jsonl
 package main
 
@@ -40,6 +48,20 @@ import (
 	"sprintgame/internal/telemetry"
 )
 
+// params carries the load-model knobs shared by every benchmark point.
+type params struct {
+	mode        string
+	concurrency int
+	rate        float64
+	duration    time.Duration
+	requests    int
+	classes     int
+	agents      int
+	churn       float64
+	cacheSize   int
+	seed        uint64
+}
+
 func main() {
 	var (
 		addr        = flag.String("addr", "", "coordinator address; empty starts an in-process server")
@@ -52,6 +74,9 @@ func main() {
 		agents      = flag.Int("agents", 12, "agents (profiles) registered before the run")
 		churn       = flag.Float64("churn", 0, "per-request probability of resubmitting a perturbed profile (forces re-solves)")
 		cacheSize   = flag.Int("cache-size", 0, "server solve-cache capacity (0 = default; in-process server only)")
+		shards      = flag.Int("shards", 0, "in-process shard servers behind a router (0 = one direct server, no router)")
+		protoFlag   = flag.String("proto", "json", "wire protocol: json | binary")
+		curve       = flag.Bool("curve", false, "sweep shards x proto ({1,2,4} x {json,binary} plus the direct baseline) and record every point")
 		seed        = flag.Uint64("seed", 1, "seed for profiles and churn decisions")
 		out         = flag.String("out", "", "write the JSON report to this file ('-' for stdout)")
 		traceOut    = flag.String("trace", "", "write span JSONL (client and server stitched) to this file")
@@ -66,89 +91,55 @@ func main() {
 	if *churn < 0 || *churn > 1 {
 		fatal(fmt.Errorf("-churn %v outside [0, 1]", *churn))
 	}
+	proto := coord.Proto(*protoFlag)
+	if !proto.Valid() {
+		fatal(fmt.Errorf("unknown -proto %q (want json or binary)", *protoFlag))
+	}
+	if *shards < 0 {
+		fatal(fmt.Errorf("-shards must be >= 0"))
+	}
+	if *curve && *addr != "" {
+		fatal(fmt.Errorf("-curve needs the in-process server (drop -addr)"))
+	}
+	if *curve && *traceOut != "" {
+		fatal(fmt.Errorf("-curve and -trace are mutually exclusive (trace a single run)"))
+	}
 
-	metrics := telemetry.NewRegistry()
-	var tracer *telemetry.Tracer
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fatal(err)
-		}
-		bw := bufio.NewWriter(f)
-		tracer = telemetry.NewTracer(bw).WithClock(time.Now)
-		defer func() {
-			if err := tracer.Err(); err != nil {
-				fatal(fmt.Errorf("trace %s: %w", *traceOut, err))
-			}
-			if err := bw.Flush(); err != nil {
+	p := params{
+		mode: *mode, concurrency: *concurrency, rate: *rate,
+		duration: *duration, requests: *requests, classes: *classes,
+		agents: *agents, churn: *churn, cacheSize: *cacheSize, seed: *seed,
+	}
+
+	var report *Report
+	if *curve {
+		report = runCurve(p)
+	} else {
+		var tracer *telemetry.Tracer
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
 				fatal(err)
 			}
-			if err := f.Close(); err != nil {
-				fatal(err)
-			}
-		}()
-	}
-
-	// In-process server unless pointed at an external coordinator.
-	target := *addr
-	var cache *core.SolveCache
-	if target == "" {
-		coordinator, err := coord.NewCoordinator(core.DefaultConfig())
+			bw := bufio.NewWriter(f)
+			tracer = telemetry.NewTracer(bw).WithClock(time.Now)
+			defer func() {
+				if err := tracer.Err(); err != nil {
+					fatal(fmt.Errorf("trace %s: %w", *traceOut, err))
+				}
+				if err := bw.Flush(); err != nil {
+					fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					fatal(err)
+				}
+			}()
+		}
+		var err error
+		report, err = runPoint(p, *shards, proto, *addr, tracer)
 		if err != nil {
 			fatal(err)
 		}
-		cache = core.NewSolveCache(*cacheSize, metrics)
-		srv, err := coord.ServeWith(coordinator, coord.ServeOptions{
-			Addr:    "127.0.0.1:0",
-			Metrics: metrics,
-			Tracer:  tracer,
-			Cache:   cache,
-		})
-		if err != nil {
-			fatal(err)
-		}
-		defer srv.Close()
-		target = srv.Addr()
-	}
-
-	client := coord.NewClientWith(target, coord.ClientOptions{
-		Metrics:   metrics,
-		Tracer:    tracer,
-		TraceSeed: *seed,
-	})
-
-	// Register the working set: every class gets agents/classes profiles.
-	rng := stats.NewRNG(*seed)
-	for a := 0; a < *agents; a++ {
-		cls := a % *classes
-		if err := client.SubmitProfile(makeProfile(a, cls, rng)); err != nil {
-			fatal(fmt.Errorf("submit profile %d: %w", a, err))
-		}
-	}
-	// Warm the cache so the run starts from a solved equilibrium.
-	if _, _, err := client.FetchStrategies(); err != nil {
-		fatal(fmt.Errorf("warmup solve: %w", err))
-	}
-
-	var res *runResult
-	switch *mode {
-	case "closed":
-		res = runClosed(client, *concurrency, *duration, *requests, *churn, *classes, *agents, *seed)
-	case "open":
-		res = runOpen(client, *rate, *duration, *requests, *churn, *classes, *agents, *seed)
-	}
-
-	report := buildReport(*mode, res, cache)
-	fmt.Printf("coordbench: %s loop, %d requests (%d errors) in %.2fs\n",
-		*mode, report.Requests, report.Errors, report.DurationS)
-	fmt.Printf("  throughput  %.1f req/s\n", report.RequestsPerSec)
-	fmt.Printf("  latency     p50 %.3fms  p90 %.3fms  p99 %.3fms  p99.9 %.3fms  max %.3fms\n",
-		report.Latency.P50Ms, report.Latency.P90Ms, report.Latency.P99Ms,
-		report.Latency.P999Ms, report.Latency.MaxMs)
-	if cache != nil {
-		st := cache.Stats()
-		fmt.Printf("  solve cache %.1f%% hit (%d hits, %d coalesced, %d misses)\n",
-			100*st.HitRate(), st.Hits, st.Coalesced, st.Misses)
 	}
 
 	if *out != "" {
@@ -166,6 +157,156 @@ func main() {
 	if report.Errors > 0 {
 		fatal(fmt.Errorf("%d of %d requests failed", report.Errors, report.Requests))
 	}
+}
+
+// curvePoints is the shard-scaling grid recorded by -curve: the direct
+// pre-router baseline, then 1/2/4 shards under both protocols.
+var curvePoints = []struct {
+	shards int
+	proto  coord.Proto
+}{
+	{0, coord.ProtoJSON},
+	{1, coord.ProtoJSON},
+	{1, coord.ProtoBinary},
+	{2, coord.ProtoJSON},
+	{2, coord.ProtoBinary},
+	{4, coord.ProtoJSON},
+	{4, coord.ProtoBinary},
+}
+
+// runCurve sweeps the grid; the returned report's headline numbers are
+// the last point's (4 shards, binary) with every point in Curve.
+func runCurve(p params) *Report {
+	var report *Report
+	var curve []CurvePoint
+	for _, pt := range curvePoints {
+		rep, err := runPoint(p, pt.shards, pt.proto, "", nil)
+		if err != nil {
+			fatal(fmt.Errorf("curve point shards=%d proto=%s: %w", pt.shards, pt.proto, err))
+		}
+		curve = append(curve, CurvePoint{
+			Shards: rep.Shards, Proto: rep.Proto,
+			Requests: rep.Requests, Errors: rep.Errors,
+			RequestsPerSec: rep.RequestsPerSec,
+			Latency:        rep.Latency, Cache: rep.Cache,
+		})
+		report = rep
+	}
+	report.Curve = curve
+	return report
+}
+
+// runPoint benchmarks one topology: addr != "" targets an external
+// coordinator; otherwise shards == 0 starts one direct server and
+// shards >= 1 starts that many shard servers (sharing a batched solve
+// cache) behind a router.
+func runPoint(p params, shards int, proto coord.Proto, addr string, tracer *telemetry.Tracer) (*Report, error) {
+	metrics := telemetry.NewRegistry()
+	target := addr
+	var cache *core.SolveCache
+	var closers []func()
+	defer func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}()
+	if target == "" {
+		cache = core.NewSolveCache(p.cacheSize, metrics)
+		if shards > 0 {
+			// Sharded misses arrive concurrently from several shard
+			// servers; batching coalesces each round into one SoA solve.
+			cache.SetBatching(true)
+			addrs := make([]string, shards)
+			for i := 0; i < shards; i++ {
+				coordinator, err := coord.NewCoordinator(core.DefaultConfig())
+				if err != nil {
+					return nil, err
+				}
+				srv, err := coord.ServeWith(coordinator, coord.ServeOptions{
+					Addr:    "127.0.0.1:0",
+					Metrics: metrics,
+					Tracer:  tracer,
+					Cache:   cache,
+				})
+				if err != nil {
+					return nil, err
+				}
+				closers = append(closers, func() { _ = srv.Close() })
+				addrs[i] = srv.Addr()
+			}
+			router, err := coord.NewRouter(coord.RouterOptions{
+				Addr:       "127.0.0.1:0",
+				Shards:     addrs,
+				ShardProto: proto,
+				Metrics:    metrics,
+				Tracer:     tracer,
+			})
+			if err != nil {
+				return nil, err
+			}
+			closers = append(closers, func() { _ = router.Close() })
+			target = router.Addr()
+		} else {
+			coordinator, err := coord.NewCoordinator(core.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			srv, err := coord.ServeWith(coordinator, coord.ServeOptions{
+				Addr:    "127.0.0.1:0",
+				Metrics: metrics,
+				Tracer:  tracer,
+				Cache:   cache,
+			})
+			if err != nil {
+				return nil, err
+			}
+			closers = append(closers, func() { _ = srv.Close() })
+			target = srv.Addr()
+		}
+	}
+
+	client := coord.NewClientWith(target, coord.ClientOptions{
+		Proto:     proto,
+		Metrics:   metrics,
+		Tracer:    tracer,
+		TraceSeed: p.seed,
+	})
+	defer client.Close()
+
+	// Register the working set: every class gets agents/classes profiles.
+	rng := stats.NewRNG(p.seed)
+	for a := 0; a < p.agents; a++ {
+		cls := a % p.classes
+		if err := client.SubmitProfile(makeProfile(a, cls, rng)); err != nil {
+			return nil, fmt.Errorf("submit profile %d: %w", a, err)
+		}
+	}
+	// Warm the cache so the run starts from a solved equilibrium.
+	if _, _, err := client.FetchStrategies(); err != nil {
+		return nil, fmt.Errorf("warmup solve: %w", err)
+	}
+
+	var res *runResult
+	switch p.mode {
+	case "closed":
+		res = runClosed(client, p.concurrency, p.duration, p.requests, p.churn, p.classes, p.agents, p.seed)
+	case "open":
+		res = runOpen(client, p.rate, p.duration, p.requests, p.churn, p.classes, p.agents, p.seed)
+	}
+
+	report := buildReport(p.mode, shards, proto, res, cache)
+	fmt.Printf("coordbench: %s loop, shards=%d proto=%s, %d requests (%d errors) in %.2fs\n",
+		p.mode, shards, proto, report.Requests, report.Errors, report.DurationS)
+	fmt.Printf("  throughput  %.1f req/s\n", report.RequestsPerSec)
+	fmt.Printf("  latency     p50 %.3fms  p90 %.3fms  p99 %.3fms  p99.9 %.3fms  max %.3fms\n",
+		report.Latency.P50Ms, report.Latency.P90Ms, report.Latency.P99Ms,
+		report.Latency.P999Ms, report.Latency.MaxMs)
+	if cache != nil {
+		st := cache.Stats()
+		fmt.Printf("  solve cache %.1f%% hit (%d hits, %d coalesced, %d misses)\n",
+			100*st.HitRate(), st.Hits, st.Coalesced, st.Misses)
+	}
+	return report, nil
 }
 
 // makeProfile synthesizes a deterministic utility profile for one agent:
@@ -307,15 +448,33 @@ type LatencyReport struct {
 	MaxMs  float64 `json:"max_ms"`
 }
 
+// CurvePoint is one topology's result in the shard-scaling curve.
+type CurvePoint struct {
+	Shards         int           `json:"shards"`
+	Proto          string        `json:"proto"`
+	Requests       int           `json:"requests"`
+	Errors         int           `json:"errors"`
+	RequestsPerSec float64       `json:"requests_per_sec"`
+	Latency        LatencyReport `json:"latency"`
+	Cache          *CacheReport  `json:"solve_cache,omitempty"`
+}
+
 // Report is the benchmark's JSON output (BENCH_coord.json).
 type Report struct {
-	Mode           string        `json:"mode"`
+	Mode string `json:"mode"`
+	// Shards is the serving topology: 0 = one direct server, N >= 1 =
+	// N shard servers behind the router.
+	Shards int `json:"shards"`
+	// Proto is the wire protocol the benchmark client spoke.
+	Proto          string        `json:"proto"`
 	Requests       int           `json:"requests"`
 	Errors         int           `json:"errors"`
 	DurationS      float64       `json:"duration_s"`
 	RequestsPerSec float64       `json:"requests_per_sec"`
 	Latency        LatencyReport `json:"latency"`
 	Cache          *CacheReport  `json:"solve_cache,omitempty"`
+	// Curve holds the shard-scaling sweep when run with -curve.
+	Curve []CurvePoint `json:"curve,omitempty"`
 }
 
 // CacheReport summarizes the in-process server's solve cache.
@@ -326,7 +485,7 @@ type CacheReport struct {
 	HitRate   float64 `json:"hit_rate"`
 }
 
-func buildReport(mode string, res *runResult, cache *core.SolveCache) *Report {
+func buildReport(mode string, shards int, proto coord.Proto, res *runResult, cache *core.SolveCache) *Report {
 	sort.Slice(res.latencies, func(i, j int) bool { return res.latencies[i] < res.latencies[j] })
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	pct := func(q float64) float64 {
@@ -349,6 +508,8 @@ func buildReport(mode string, res *runResult, cache *core.SolveCache) *Report {
 	}
 	rep := &Report{
 		Mode:      mode,
+		Shards:    shards,
+		Proto:     string(proto),
 		Requests:  len(res.latencies),
 		Errors:    res.errors,
 		DurationS: res.elapsed.Seconds(),

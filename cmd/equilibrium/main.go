@@ -6,6 +6,7 @@
 //
 //	equilibrium -apps decision=600,pagerank=400
 //	equilibrium -serve 127.0.0.1:7077 -debug-addr 127.0.0.1:6060
+//	equilibrium -serve 127.0.0.1:7077 -shards 4 -shard-proto binary
 package main
 
 import (
@@ -32,6 +33,8 @@ func main() {
 		bins        = flag.Int("bins", sim.DensityBins, "utility density bins")
 		connTimeout = flag.Duration("conn-timeout", coord.DefaultConnTimeout, "per-connection read/write deadline in serve mode (negative disables)")
 		cacheSize   = flag.Int("cache-size", core.DefaultSolveCacheCapacity, "equilibrium solve-cache capacity in serve mode (0 disables caching)")
+		shards      = flag.Int("shards", 0, "serve mode: front N coordinator shards (sharing one solve cache) with a router at the -serve address (0 = single server)")
+		shardProto  = flag.String("shard-proto", "binary", "serve mode with -shards: router-to-shard wire protocol (json | binary)")
 		traceOut    = flag.String("trace", "", "write a JSONL telemetry trace (solver/coordinator events) to this file ('-' for stdout)")
 		debugAddr   = flag.String("debug-addr", "", "serve the debug endpoint (/metrics, /debug/pprof, /debug/vars) on this address")
 	)
@@ -84,16 +87,64 @@ func main() {
 		gameCfg := core.DefaultConfig()
 		gameCfg.Metrics = metrics
 		gameCfg.Tracer = tracer
-		c, err := coord.NewCoordinator(gameCfg)
-		if err != nil {
-			fatal(err)
-		}
 		// The solve cache memoizes equilibria between profile changes and
 		// coalesces concurrent "strategies" requests into one solve; its
 		// hit/miss counters appear under solvecache.* on /metrics.
 		var cache *core.SolveCache
 		if *cacheSize > 0 {
 			cache = core.NewSolveCache(*cacheSize, metrics)
+		}
+		if *shards > 0 {
+			proto := coord.Proto(*shardProto)
+			if !proto.Valid() {
+				fatal(fmt.Errorf("unknown -shard-proto %q (want json or binary)", *shardProto))
+			}
+			if cache != nil {
+				// Concurrent misses from different shards coalesce into
+				// one batched SoA solve per round.
+				cache.SetBatching(true)
+			}
+			addrs := make([]string, *shards)
+			for i := range addrs {
+				c, err := coord.NewCoordinator(gameCfg)
+				if err != nil {
+					fatal(err)
+				}
+				srv, err := coord.ServeWith(c, coord.ServeOptions{
+					Addr:        "127.0.0.1:0",
+					ConnTimeout: *connTimeout,
+					Metrics:     metrics,
+					Tracer:      tracer,
+					Cache:       cache,
+				})
+				if err != nil {
+					fatal(err)
+				}
+				defer srv.Close()
+				addrs[i] = srv.Addr()
+			}
+			router, err := coord.NewRouter(coord.RouterOptions{
+				Addr:        *serve,
+				Shards:      addrs,
+				ShardProto:  proto,
+				ConnTimeout: *connTimeout,
+				Metrics:     metrics,
+				Tracer:      tracer,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("coordinator router listening on %s (%d shards, %s shard protocol; JSON lines or binary frames)\n",
+				router.Addr(), *shards, proto)
+			ch := make(chan os.Signal, 1)
+			signal.Notify(ch, os.Interrupt)
+			<-ch
+			_ = router.Close()
+			return
+		}
+		c, err := coord.NewCoordinator(gameCfg)
+		if err != nil {
+			fatal(err)
 		}
 		srv, err := coord.ServeWith(c, coord.ServeOptions{
 			Addr:        *serve,
@@ -105,7 +156,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("coordinator listening on %s (newline-delimited JSON; types: submit, strategies)\n", srv.Addr())
+		fmt.Printf("coordinator listening on %s (JSON lines or binary frames; types: submit, strategies)\n", srv.Addr())
 		ch := make(chan os.Signal, 1)
 		signal.Notify(ch, os.Interrupt)
 		<-ch

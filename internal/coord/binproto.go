@@ -1,0 +1,354 @@
+package coord
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// Compact binary framing, negotiated per connection as an alternative to
+// the JSON-lines protocol. A binary client opens the connection with a
+// fixed 5-byte preamble whose first byte is NUL — a byte no JSON-lines
+// request can start with — so the server can sniff the protocol from the
+// first byte without a handshake round trip. After the preamble, each
+// message (either direction) is one frame:
+//
+//	uvarint payload length | payload bytes
+//
+// The payload length is bounded by the same 1 MiB limit as a JSON
+// request line; an oversized frame draws an error response and closes
+// the connection, exactly like an oversized JSON line.
+//
+// Floats travel as uvarints of bit-reversed IEEE-754 bits
+// (bits.ReverseBytes64 puts the exponent and high mantissa bits in the
+// low bytes, so "round" floats pack into 3-5 bytes instead of 8).
+// Float columns (profile values/weights) additionally XOR each element
+// against its predecessor before packing: neighboring histogram atoms
+// share exponent and high mantissa bits, so the deltas are small.
+// Encoding is exact — bits in, bits out — which is what keeps binary
+// and JSON responses byte-identical after decoding.
+
+// binPreamble is the client's protocol announcement: NUL, "SGB"
+// (sprint-game binary), protocol version.
+var binPreamble = [5]byte{0x00, 'S', 'G', 'B', binProtoVersion}
+
+const (
+	binProtoVersion = 1
+	// maxFramePayload bounds one binary frame's payload, mirroring the
+	// JSON protocol's maxRequestLine guard.
+	maxFramePayload = maxRequestLine
+)
+
+// errFrameTooBig marks a frame whose declared length exceeds
+// maxFramePayload. The stream cannot be resynchronized past it, so the
+// connection closes after an explanatory response.
+var errFrameTooBig = errors.New("coord: binary frame exceeds size limit")
+
+// readFrame reads one length-prefixed frame into *buf (grown as
+// needed) and returns the payload slice. The returned slice aliases
+// *buf and is only valid until the next call.
+func readFrame(br io.ByteReader, buf *[]byte) ([]byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxFramePayload {
+		return nil, errFrameTooBig
+	}
+	if cap(*buf) < int(n) {
+		*buf = make([]byte, n)
+	}
+	payload := (*buf)[:n]
+	r, ok := br.(io.Reader)
+	if !ok {
+		return nil, errors.New("coord: frame reader does not implement io.Reader")
+	}
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// appendFrame wraps payload in a length prefix, appending the complete
+// frame to dst.
+func appendFrame(dst, payload []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	return append(dst, payload...)
+}
+
+// --- payload primitives ---
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendFloat packs one float64 as a uvarint of its bit-reversed bits.
+func appendFloat(b []byte, v float64) []byte {
+	return binary.AppendUvarint(b, bits.ReverseBytes64(math.Float64bits(v)))
+}
+
+// appendFloatColumn packs a float column with delta-XOR against the
+// previous element (Gorilla-style), so runs of near-equal values cost a
+// byte or two each.
+func appendFloatColumn(b []byte, xs []float64) []byte {
+	b = binary.AppendUvarint(b, uint64(len(xs)))
+	prev := uint64(0)
+	for _, v := range xs {
+		cur := math.Float64bits(v)
+		b = binary.AppendUvarint(b, bits.ReverseBytes64(cur^prev))
+		prev = cur
+	}
+	return b
+}
+
+// binDec is a bounds-checked cursor over one frame payload. Every read
+// validates against the remaining bytes so truncated or corrupt
+// payloads surface as errors, never panics.
+type binDec struct {
+	b   []byte
+	off int
+}
+
+func (d *binDec) remaining() int { return len(d.b) - d.off }
+
+func (d *binDec) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		return 0, errors.New("bad uvarint")
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *binDec) byte() (byte, error) {
+	if d.remaining() < 1 {
+		return 0, errors.New("truncated payload")
+	}
+	c := d.b[d.off]
+	d.off++
+	return c, nil
+}
+
+func (d *binDec) string() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(d.remaining()) {
+		return "", fmt.Errorf("string length %d exceeds remaining %d bytes", n, d.remaining())
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+func (d *binDec) float() (float64, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(bits.ReverseBytes64(v)), nil
+}
+
+func (d *binDec) floatColumn() ([]float64, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// Each packed element is at least one byte, so a count beyond the
+	// remaining payload is corrupt — reject it before allocating.
+	if n > uint64(d.remaining()) {
+		return nil, fmt.Errorf("column length %d exceeds remaining %d bytes", n, d.remaining())
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	xs := make([]float64, n)
+	prev := uint64(0)
+	for i := range xs {
+		v, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		cur := bits.ReverseBytes64(v) ^ prev
+		xs[i] = math.Float64frombits(cur)
+		prev = cur
+	}
+	return xs, nil
+}
+
+// --- request payload ---
+
+// appendRequest encodes a request payload (not framed):
+//
+//	str type | str trace | str parent | byte hasProfile
+//	[ str agent | str class | floatcol values | floatcol weights ]
+func appendRequest(b []byte, req request) []byte {
+	b = appendString(b, req.Type)
+	b = appendString(b, req.Trace)
+	b = appendString(b, req.Parent)
+	if req.Profile == nil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	b = appendString(b, req.Profile.Agent)
+	b = appendString(b, req.Profile.Class)
+	b = appendFloatColumn(b, req.Profile.Values)
+	b = appendFloatColumn(b, req.Profile.Weights)
+	return b
+}
+
+func decodeRequest(payload []byte) (request, error) {
+	d := binDec{b: payload}
+	var req request
+	var err error
+	if req.Type, err = d.string(); err != nil {
+		return req, fmt.Errorf("type: %w", err)
+	}
+	if req.Trace, err = d.string(); err != nil {
+		return req, fmt.Errorf("trace: %w", err)
+	}
+	if req.Parent, err = d.string(); err != nil {
+		return req, fmt.Errorf("parent: %w", err)
+	}
+	has, err := d.byte()
+	if err != nil {
+		return req, fmt.Errorf("profile flag: %w", err)
+	}
+	switch has {
+	case 0:
+	case 1:
+		var p Profile
+		if p.Agent, err = d.string(); err != nil {
+			return req, fmt.Errorf("profile agent: %w", err)
+		}
+		if p.Class, err = d.string(); err != nil {
+			return req, fmt.Errorf("profile class: %w", err)
+		}
+		if p.Values, err = d.floatColumn(); err != nil {
+			return req, fmt.Errorf("profile values: %w", err)
+		}
+		if p.Weights, err = d.floatColumn(); err != nil {
+			return req, fmt.Errorf("profile weights: %w", err)
+		}
+		req.Profile = &p
+	default:
+		return req, fmt.Errorf("bad profile flag %d", has)
+	}
+	if d.remaining() != 0 {
+		return req, fmt.Errorf("%d trailing bytes", d.remaining())
+	}
+	return req, nil
+}
+
+// --- response payload ---
+
+// appendResponse encodes a response payload (not framed):
+//
+//	str ok | str error | str trace | float ptrip | byte hasStrategies
+//	[ uvarint count | (str key | str class | float threshold |
+//	  float sprintProb | float ptrip | uvarint agents)* ]
+//
+// Strategy entries are emitted in sorted key order so encoding is
+// deterministic. An empty map is encoded as absent, mirroring the JSON
+// protocol's omitempty (which also cannot distinguish empty from nil on
+// the wire).
+func appendResponse(b []byte, resp response) []byte {
+	b = appendString(b, resp.OK)
+	b = appendString(b, resp.Error)
+	b = appendString(b, resp.Trace)
+	b = appendFloat(b, resp.Ptrip)
+	if len(resp.Strategies) == 0 {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	b = binary.AppendUvarint(b, uint64(len(resp.Strategies)))
+	keys := make([]string, 0, len(resp.Strategies))
+	for k := range resp.Strategies {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s := resp.Strategies[k]
+		b = appendString(b, k)
+		b = appendString(b, s.Class)
+		b = appendFloat(b, s.Threshold)
+		b = appendFloat(b, s.SprintProb)
+		b = appendFloat(b, s.Ptrip)
+		b = binary.AppendUvarint(b, uint64(s.Agents))
+	}
+	return b
+}
+
+func decodeResponse(payload []byte) (response, error) {
+	d := binDec{b: payload}
+	var resp response
+	var err error
+	if resp.OK, err = d.string(); err != nil {
+		return resp, fmt.Errorf("ok: %w", err)
+	}
+	if resp.Error, err = d.string(); err != nil {
+		return resp, fmt.Errorf("error: %w", err)
+	}
+	if resp.Trace, err = d.string(); err != nil {
+		return resp, fmt.Errorf("trace: %w", err)
+	}
+	if resp.Ptrip, err = d.float(); err != nil {
+		return resp, fmt.Errorf("ptrip: %w", err)
+	}
+	has, err := d.byte()
+	if err != nil {
+		return resp, fmt.Errorf("strategies flag: %w", err)
+	}
+	switch has {
+	case 0:
+	case 1:
+		n, err := d.uvarint()
+		if err != nil {
+			return resp, fmt.Errorf("strategies count: %w", err)
+		}
+		// Each entry needs at least 6 payload bytes (two length bytes,
+		// three packed floats, one count); reject corrupt counts before
+		// allocating.
+		if n > uint64(d.remaining()/6+1) {
+			return resp, fmt.Errorf("strategies count %d exceeds remaining %d bytes", n, d.remaining())
+		}
+		resp.Strategies = make(map[string]Strategy, n)
+		for i := uint64(0); i < n; i++ {
+			var key string
+			var s Strategy
+			if key, err = d.string(); err != nil {
+				return resp, fmt.Errorf("strategy key: %w", err)
+			}
+			if s.Class, err = d.string(); err != nil {
+				return resp, fmt.Errorf("strategy class: %w", err)
+			}
+			if s.Threshold, err = d.float(); err != nil {
+				return resp, fmt.Errorf("strategy threshold: %w", err)
+			}
+			if s.SprintProb, err = d.float(); err != nil {
+				return resp, fmt.Errorf("strategy sprint prob: %w", err)
+			}
+			if s.Ptrip, err = d.float(); err != nil {
+				return resp, fmt.Errorf("strategy ptrip: %w", err)
+			}
+			agents, err := d.uvarint()
+			if err != nil {
+				return resp, fmt.Errorf("strategy agents: %w", err)
+			}
+			s.Agents = int(agents)
+			resp.Strategies[key] = s
+		}
+	default:
+		return resp, fmt.Errorf("bad strategies flag %d", has)
+	}
+	if d.remaining() != 0 {
+		return resp, fmt.Errorf("%d trailing bytes", d.remaining())
+	}
+	return resp, nil
+}

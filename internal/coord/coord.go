@@ -74,6 +74,18 @@ type Coordinator struct {
 
 	mu       sync.Mutex
 	profiles map[string]Profile // by agent id
+	// pooled memoizes the per-class pooled densities between profile
+	// changes: pooling re-histograms every profile (the dominant
+	// per-request cost once solves are cached), but the result only
+	// changes when a Submit lands. Nil means dirty.
+	pooled *pooledClasses
+}
+
+// pooledClasses is the memoized result of pooling all profiles.
+type pooledClasses struct {
+	classes []core.AgentClass
+	n       int // population (sum of class counts)
+	agents  int // reporting agents
 }
 
 // NewCoordinator returns a coordinator with the given game parameters.
@@ -105,6 +117,7 @@ func (c *Coordinator) Submit(p Profile) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.profiles[p.Agent] = p
+	c.pooled = nil // pooled densities are stale
 	return nil
 }
 
@@ -156,6 +169,53 @@ func (c *Coordinator) ComputeStrategiesSpanned(span *telemetry.Span) (map[string
 	pool := span.Child("coord.pool")
 	c.mu.Lock()
 	cache := c.cache
+	pc := c.pooled
+	memoized := pc != nil
+	if !memoized {
+		var err error
+		if pc, err = c.poolLocked(); err != nil {
+			c.mu.Unlock()
+			pool.EndWith(telemetry.Fields{"error": err.Error()})
+			return nil, nil, err
+		}
+		c.pooled = pc
+	}
+	c.mu.Unlock()
+	pool.EndWith(telemetry.Fields{
+		"classes": len(pc.classes), "agents": pc.agents, "memoized": memoized})
+
+	cfg := c.cfg
+	cfg.N = pc.n
+	classes := pc.classes
+	eq, err := cache.FindEquilibriumSpanned(classes, cfg, span)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make(map[string]Strategy, len(eq.Classes))
+	for _, cl := range eq.Classes {
+		n := 0
+		for _, ac := range classes {
+			if ac.Name == cl.Name {
+				n = ac.Count
+			}
+		}
+		out[cl.Name] = Strategy{
+			Class:      cl.Name,
+			Threshold:  cl.Threshold,
+			SprintProb: cl.SprintProb,
+			Ptrip:      eq.Ptrip,
+			Agents:     n,
+		}
+	}
+	return out, eq, nil
+}
+
+// poolLocked merges all registered profiles into per-class pooled
+// densities. Caller holds c.mu; the result is memoized until the next
+// Submit. Holding the lock through pooling serializes concurrent first
+// requests after a profile change, so the pooling work happens once,
+// not once per waiter.
+func (c *Coordinator) poolLocked() (*pooledClasses, error) {
 	type classAgg struct {
 		count   int
 		values  []float64
@@ -182,18 +242,13 @@ func (c *Coordinator) ComputeStrategiesSpanned(span *telemetry.Span) (map[string
 		// pooling so large profiles don't dominate their class.
 		d, err := dist.NewDiscrete(p.Values, p.Weights)
 		if err != nil {
-			c.mu.Unlock()
-			pool.EndWith(telemetry.Fields{"error": err.Error()})
-			return nil, nil, err
+			return nil, err
 		}
 		a.values = append(a.values, d.Values()...)
 		a.weights = append(a.weights, d.Probs()...)
 	}
-	c.mu.Unlock()
-
 	if len(agg) == 0 {
-		pool.EndWith(telemetry.Fields{"error": "no profiles"})
-		return nil, nil, errors.New("coord: no profiles registered")
+		return nil, errors.New("coord: no profiles registered")
 	}
 	names := make([]string, 0, len(agg))
 	for name := range agg {
@@ -201,39 +256,15 @@ func (c *Coordinator) ComputeStrategiesSpanned(span *telemetry.Span) (map[string
 	}
 	sort.Strings(names)
 
-	cfg := c.cfg
-	cfg.N = 0
-	classes := make([]core.AgentClass, 0, len(names))
+	pc := &pooledClasses{agents: len(agents)}
 	for _, name := range names {
 		a := agg[name]
 		d, err := poolAtoms(a.values, a.weights)
 		if err != nil {
-			pool.EndWith(telemetry.Fields{"error": err.Error()})
-			return nil, nil, fmt.Errorf("coord: pooling class %q: %w", name, err)
+			return nil, fmt.Errorf("coord: pooling class %q: %w", name, err)
 		}
-		classes = append(classes, core.AgentClass{Name: name, Count: a.count, Density: d})
-		cfg.N += a.count
+		pc.classes = append(pc.classes, core.AgentClass{Name: name, Count: a.count, Density: d})
+		pc.n += a.count
 	}
-	pool.EndWith(telemetry.Fields{"classes": len(classes), "agents": len(agents)})
-	eq, err := cache.FindEquilibriumSpanned(classes, cfg, span)
-	if err != nil {
-		return nil, nil, err
-	}
-	out := make(map[string]Strategy, len(eq.Classes))
-	for _, cl := range eq.Classes {
-		n := 0
-		for _, ac := range classes {
-			if ac.Name == cl.Name {
-				n = ac.Count
-			}
-		}
-		out[cl.Name] = Strategy{
-			Class:      cl.Name,
-			Threshold:  cl.Threshold,
-			SprintProb: cl.SprintProb,
-			Ptrip:      eq.Ptrip,
-			Agents:     n,
-		}
-	}
-	return out, eq, nil
+	return pc, nil
 }

@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -14,11 +13,12 @@ import (
 	"sprintgame/internal/telemetry"
 )
 
-// The wire protocol is newline-delimited JSON over TCP. Each request is
-// one line; each response is one line. The coordinator's global
-// communication is infrequent (profiles change slowly), so a simple
-// line protocol suffices; the latency-critical sprint decision never
-// crosses the network (§2.3).
+// The wire protocol is newline-delimited JSON over TCP, with an
+// optional compact binary framing negotiated per connection (see
+// binproto.go). Each request draws one response. The coordinator's
+// global communication is infrequent (profiles change slowly), so a
+// simple request/response protocol suffices; the latency-critical
+// sprint decision never crosses the network (§2.3).
 
 // request is the client-to-server message.
 type request struct {
@@ -81,18 +81,24 @@ type ServeOptions struct {
 	Cache *core.SolveCache
 }
 
-// Server exposes a Coordinator over TCP.
+// normalizeTimeout maps the shared zero/negative timeout convention:
+// zero selects the default, negative disables the bound.
+func normalizeTimeout(d, def time.Duration) time.Duration {
+	switch {
+	case d == 0:
+		return def
+	case d < 0:
+		return 0
+	}
+	return d
+}
+
+// Server exposes a Coordinator over TCP, speaking JSON lines or binary
+// frames per connection (see negotiate).
 type Server struct {
 	coord   *Coordinator
-	ln      net.Listener
+	a       *acceptor
 	timeout time.Duration
-	metrics *telemetry.Registry
-	tracer  *telemetry.Tracer
-	reqSeq  atomic.Uint64 // trace-ID source for requests without one
-
-	mu     sync.Mutex
-	closed bool
-	wg     sync.WaitGroup
 }
 
 // Serve starts a server on addr (e.g. "127.0.0.1:0") with default
@@ -106,182 +112,34 @@ func ServeWith(coord *Coordinator, opts ServeOptions) (*Server, error) {
 	if coord == nil {
 		return nil, errors.New("coord: nil coordinator")
 	}
-	timeout := opts.ConnTimeout
-	switch {
-	case timeout == 0:
-		timeout = DefaultConnTimeout
-	case timeout < 0:
-		timeout = 0
-	}
+	timeout := normalizeTimeout(opts.ConnTimeout, DefaultConnTimeout)
 	if opts.Cache != nil {
 		coord.UseCache(opts.Cache)
 	}
-	ln, err := net.Listen("tcp", opts.Addr)
+	s := &Server{coord: coord, timeout: timeout}
+	ep := &endpoint{
+		prefix:   "coord",
+		timeout:  timeout,
+		metrics:  opts.Metrics,
+		tracer:   opts.Tracer,
+		dispatch: s.dispatch,
+	}
+	a, err := newAcceptor(opts.Addr, ep)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{
-		coord:   coord,
-		ln:      ln,
-		timeout: timeout,
-		metrics: opts.Metrics,
-		tracer:  opts.Tracer,
-	}
-	s.wg.Add(1)
-	go s.acceptLoop()
+	s.a = a
 	return s, nil
 }
 
 // Addr returns the server's listen address.
-func (s *Server) Addr() string { return s.ln.Addr().String() }
+func (s *Server) Addr() string { return s.a.addr() }
 
 // Close stops the server.
-func (s *Server) Close() error {
-	s.mu.Lock()
-	s.closed = true
-	s.mu.Unlock()
-	err := s.ln.Close()
-	s.wg.Wait()
-	return err
-}
-
-// Accept-error backoff bounds: persistent Accept failures (e.g. EMFILE
-// when the process is out of file descriptors) must not hot-spin the
-// accept loop; the delay doubles from min to max and resets on the
-// next successful accept.
-const (
-	acceptBackoffMin = 5 * time.Millisecond
-	acceptBackoffMax = time.Second
-)
-
-func (s *Server) acceptLoop() {
-	defer s.wg.Done()
-	var backoff time.Duration
-	for {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			s.mu.Lock()
-			done := s.closed
-			s.mu.Unlock()
-			if done || errors.Is(err, net.ErrClosed) {
-				return
-			}
-			s.metrics.Counter("coord.accept_errors").Inc()
-			if backoff == 0 {
-				backoff = acceptBackoffMin
-			} else if backoff *= 2; backoff > acceptBackoffMax {
-				backoff = acceptBackoffMax
-			}
-			time.Sleep(backoff)
-			continue
-		}
-		backoff = 0
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			s.handle(conn)
-		}()
-	}
-}
+func (s *Server) Close() error { return s.a.close() }
 
 // maxRequestLine bounds one request line on the wire.
 const maxRequestLine = 1 << 20
-
-// requestTrace resolves the trace ID for one request: the client's, or
-// one derived from the server's request sequence so every request is
-// traceable even from uninstrumented clients.
-func (s *Server) requestTrace(req request) string {
-	if req.Trace != "" {
-		return req.Trace
-	}
-	return telemetry.TraceIDFromSeed(s.reqSeq.Add(1))
-}
-
-func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
-	s.metrics.Counter("coord.connections").Inc()
-	latencyHist := s.metrics.Histogram("coord.request_latency_s", telemetry.LatencyBuckets())
-	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 0, 64*1024), maxRequestLine)
-	enc := json.NewEncoder(conn)
-	for {
-		if s.timeout > 0 {
-			_ = conn.SetReadDeadline(time.Now().Add(s.timeout))
-		}
-		if !scanner.Scan() {
-			if err := scanner.Err(); err != nil {
-				var ne net.Error
-				switch {
-				case errors.As(err, &ne) && ne.Timeout():
-					s.metrics.Counter("coord.conn_timeouts").Inc()
-				case errors.Is(err, bufio.ErrTooLong):
-					// The scanner cannot resynchronize mid-line, so tell
-					// the client why before dropping the connection
-					// instead of dying silently.
-					s.metrics.Counter("coord.oversized_requests").Inc()
-					s.metrics.Counter("coord.request_errors").Inc()
-					if s.timeout > 0 {
-						_ = conn.SetWriteDeadline(time.Now().Add(s.timeout))
-					}
-					_ = enc.Encode(response{Error: fmt.Sprintf(
-						"request line exceeds %d bytes", maxRequestLine)})
-				}
-			}
-			return
-		}
-		var req request
-		var resp response
-		// The request root span covers parse + dispatch + encode; parse
-		// runs before the trace ID is known, so its timing is captured
-		// here and attached as a child span after the fact.
-		start := time.Now()
-		parseErr := json.Unmarshal(scanner.Bytes(), &req)
-		parseDur := time.Since(start)
-		root := s.tracer.StartSpanFrom("coord.request", s.requestTrace(req), req.Parent)
-		root.Child("coord.parse").WithTiming(start, parseDur).End()
-		if parseErr != nil {
-			req.Type = "malformed"
-			resp = response{Error: "malformed request: " + parseErr.Error()}
-		} else {
-			resp = s.dispatch(req, root)
-		}
-		resp.Trace = root.TraceID()
-		if s.timeout > 0 {
-			_ = conn.SetWriteDeadline(time.Now().Add(s.timeout))
-		}
-		encSpan := root.Child("coord.encode")
-		encErr := enc.Encode(resp)
-		encSpan.End()
-		// The root span's window closes here, right after the response
-		// hits the wire: the metric bookkeeping and flat event below are
-		// server overhead, not request service time, and keeping them
-		// outside the window lets the parse/dispatch/encode children
-		// account for (nearly) all of the root's duration.
-		rootDur := time.Since(start)
-		root.WithTiming(start, rootDur).EndWith(telemetry.Fields{
-			"type":  req.Type,
-			"error": resp.Error,
-		})
-		latency := rootDur.Seconds()
-		latencyHist.Observe(latency)
-		s.metrics.Counter("coord.requests").Inc()
-		s.metrics.Counter("coord.requests." + req.Type).Inc()
-		if resp.Error != "" {
-			s.metrics.Counter("coord.request_errors").Inc()
-		}
-		if s.tracer.Enabled() {
-			s.tracer.Emit("coord.request", telemetry.Fields{
-				"type":      req.Type,
-				"error":     resp.Error,
-				"latency_s": latency,
-				"trace":     root.TraceID(),
-			})
-		}
-		if encErr != nil {
-			return
-		}
-	}
-}
 
 func (s *Server) dispatch(req request, root *telemetry.Span) response {
 	span := root.Child("coord.dispatch")
@@ -320,8 +178,24 @@ const (
 	DefaultRequestTimeout = 2 * time.Minute
 )
 
+// DefaultPoolSize is the default cap on idle pooled connections per
+// client — sized for a handful of concurrent callers sharing one
+// client without re-dialing per request.
+const DefaultPoolSize = 8
+
 // ClientOptions configures a Client's failure behaviour and telemetry.
 type ClientOptions struct {
+	// Proto selects the wire protocol: ProtoJSON (the default) or
+	// ProtoBinary. Both carry the same requests and produce identical
+	// results; binary trades human readability for smaller frames and
+	// cheaper encoding.
+	Proto Proto
+	// PoolSize caps the client's idle connection pool. Connections are
+	// reused across requests and re-dialed transparently when the
+	// server has idle-closed them (requests are idempotent). Zero
+	// selects DefaultPoolSize; negative disables pooling entirely
+	// (one dial per request, the pre-pooling behaviour).
+	PoolSize int
 	// DialTimeout bounds connection establishment. Zero selects
 	// DefaultDialTimeout; negative disables the bound.
 	DialTimeout time.Duration
@@ -330,10 +204,11 @@ type ClientOptions struct {
 	// DefaultRequestTimeout; negative disables the bound.
 	RequestTimeout time.Duration
 	// Metrics, when non-nil, receives client-side request metrics:
-	// coord.client.requests (and .<type>), coord.client.errors, and the
-	// coord.client.request_latency_s histogram. Client-side latency
-	// includes dial, queueing, and the network — what callers actually
-	// experience, as opposed to the server's service time.
+	// coord.client.requests (and .<type>), coord.client.errors,
+	// coord.client.dials, and the coord.client.request_latency_s
+	// histogram. Client-side latency includes dial, queueing, and the
+	// network — what callers actually experience, as opposed to the
+	// server's service time.
 	Metrics *telemetry.Registry
 	// Tracer, when non-nil, emits one coord.client.request span per
 	// round trip and propagates the trace and span IDs on the wire, so
@@ -346,13 +221,27 @@ type ClientOptions struct {
 	TraceSeed uint64
 }
 
+// clientConn is one pooled connection with its per-connection codec
+// state and reusable scratch buffers (the binary hot path encodes into
+// these, so steady-state round trips allocate nothing for framing).
+type clientConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+	dec  *json.Decoder // JSON protocol decoder, nil for binary
+	out  []byte        // encoded payload scratch
+	wire []byte        // framed request scratch
+	in   []byte        // response payload scratch
+}
+
 // Client talks to a coordinator Server. Every round trip is bounded by
 // a dial timeout and a per-request deadline, so an unresponsive or
 // half-open server surfaces as a timeout error instead of blocking the
 // caller forever (mirroring the server-side connection deadlines).
-// Clients are safe for concurrent use.
+// Connections are pooled and reused across requests. Clients are safe
+// for concurrent use; call Close to release pooled connections.
 type Client struct {
 	addr        string
+	proto       Proto
 	dialTimeout time.Duration
 	reqTimeout  time.Duration
 
@@ -361,39 +250,65 @@ type Client struct {
 	traceSeed uint64
 	reqSeq    atomic.Uint64
 
+	// pool holds idle connections; nil when pooling is disabled.
+	pool chan *clientConn
+
 	// Hoisted hot-path instruments (nil-safe when metrics is nil).
 	requests *telemetry.Counter
 	errors   *telemetry.Counter
+	dials    *telemetry.Counter
 	latency  *telemetry.Histogram
 }
 
 // NewClient returns a client for the given server address with default
-// timeouts.
+// options (JSON protocol, pooled connections, default timeouts).
 func NewClient(addr string) *Client {
 	return NewClientWith(addr, ClientOptions{})
 }
 
 // NewClientWith returns a client with explicit options.
 func NewClientWith(addr string, opts ClientOptions) *Client {
-	normalize := func(d, def time.Duration) time.Duration {
-		switch {
-		case d == 0:
-			return def
-		case d < 0:
-			return 0
+	proto := opts.Proto
+	if proto == "" {
+		proto = ProtoJSON
+	}
+	var pool chan *clientConn
+	if opts.PoolSize >= 0 {
+		size := opts.PoolSize
+		if size == 0 {
+			size = DefaultPoolSize
 		}
-		return d
+		pool = make(chan *clientConn, size)
 	}
 	return &Client{
 		addr:        addr,
-		dialTimeout: normalize(opts.DialTimeout, DefaultDialTimeout),
-		reqTimeout:  normalize(opts.RequestTimeout, DefaultRequestTimeout),
+		proto:       proto,
+		dialTimeout: normalizeTimeout(opts.DialTimeout, DefaultDialTimeout),
+		reqTimeout:  normalizeTimeout(opts.RequestTimeout, DefaultRequestTimeout),
 		metrics:     opts.Metrics,
 		tracer:      opts.Tracer,
 		traceSeed:   opts.TraceSeed,
+		pool:        pool,
 		requests:    opts.Metrics.Counter("coord.client.requests"),
 		errors:      opts.Metrics.Counter("coord.client.errors"),
+		dials:       opts.Metrics.Counter("coord.client.dials"),
 		latency:     opts.Metrics.Histogram("coord.client.request_latency_s", telemetry.LatencyBuckets()),
+	}
+}
+
+// Close releases the client's pooled connections. The client remains
+// usable (subsequent requests dial fresh connections).
+func (c *Client) Close() error {
+	if c.pool == nil {
+		return nil
+	}
+	for {
+		select {
+		case cc := <-c.pool:
+			_ = cc.conn.Close()
+		default:
+			return nil
+		}
 	}
 }
 
@@ -422,30 +337,124 @@ func (c *Client) roundTrip(req request) (response, error) {
 	return resp, err
 }
 
-// do performs the raw dial/write/read round trip.
+// do performs one request and surfaces application errors
+// (resp.Error) as Go errors.
 func (c *Client) do(req request) (response, error) {
-	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+	resp, err := c.doRaw(req)
+	if err == nil && resp.Error != "" {
+		err = errors.New(resp.Error)
+	}
+	return resp, err
+}
+
+// doRaw performs one request over a pooled (or fresh) connection. The
+// returned error covers transport failures only; application errors
+// stay in resp.Error (the Router forwards those verbatim while treating
+// transport failures as shard loss).
+func (c *Client) doRaw(req request) (response, error) {
+	cc, pooled, err := c.getConn()
 	if err != nil {
 		return response{}, err
 	}
-	defer conn.Close()
+	resp, err := c.exchange(cc, req)
+	if err != nil && pooled {
+		// A pooled connection may have been idle-closed by the server
+		// since its last use. Requests are idempotent (submit replaces,
+		// strategies reads), so retry once on a fresh connection before
+		// reporting failure.
+		_ = cc.conn.Close()
+		if cc, err = c.dialConn(); err != nil {
+			return response{}, err
+		}
+		resp, err = c.exchange(cc, req)
+	}
+	if err != nil {
+		_ = cc.conn.Close()
+		return response{}, err
+	}
+	c.putConn(cc)
+	return resp, nil
+}
+
+// getConn returns an idle pooled connection or dials a fresh one;
+// pooled reports whether the connection's liveness is unverified (it
+// may have been idle-closed) and a failed exchange should retry.
+func (c *Client) getConn() (cc *clientConn, pooled bool, err error) {
+	if c.pool != nil {
+		select {
+		case cc = <-c.pool:
+			return cc, true, nil
+		default:
+		}
+	}
+	cc, err = c.dialConn()
+	return cc, false, err
+}
+
+// putConn returns a healthy connection to the pool, or closes it when
+// the pool is full or pooling is disabled.
+func (c *Client) putConn(cc *clientConn) {
+	if c.pool != nil {
+		select {
+		case c.pool <- cc:
+			return
+		default:
+		}
+	}
+	_ = cc.conn.Close()
+}
+
+// dialConn establishes a connection and, for the binary protocol,
+// sends the protocol preamble.
+func (c *Client) dialConn() (*clientConn, error) {
+	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c.dials.Inc()
+	cc := &clientConn{conn: conn, br: bufio.NewReader(conn)}
+	switch c.proto {
+	case ProtoBinary:
+		if c.reqTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(c.reqTimeout))
+		}
+		if _, err := conn.Write(binPreamble[:]); err != nil {
+			_ = conn.Close()
+			return nil, err
+		}
+	default:
+		cc.dec = json.NewDecoder(cc.br)
+	}
+	return cc, nil
+}
+
+// exchange writes one request and reads one response on cc.
+func (c *Client) exchange(cc *clientConn, req request) (response, error) {
 	if c.reqTimeout > 0 {
-		_ = conn.SetDeadline(time.Now().Add(c.reqTimeout))
+		_ = cc.conn.SetDeadline(time.Now().Add(c.reqTimeout))
+	}
+	if c.proto == ProtoBinary {
+		cc.out = appendRequest(cc.out[:0], req)
+		cc.wire = appendFrame(cc.wire[:0], cc.out)
+		if _, err := cc.conn.Write(cc.wire); err != nil {
+			return response{}, err
+		}
+		payload, err := readFrame(cc.br, &cc.in)
+		if err != nil {
+			return response{}, err
+		}
+		return decodeResponse(payload)
 	}
 	payload, err := json.Marshal(req)
 	if err != nil {
 		return response{}, err
 	}
-	if _, err := conn.Write(append(payload, '\n')); err != nil {
+	if _, err := cc.conn.Write(append(payload, '\n')); err != nil {
 		return response{}, err
 	}
 	var resp response
-	dec := json.NewDecoder(bufio.NewReader(conn))
-	if err := dec.Decode(&resp); err != nil {
+	if err := cc.dec.Decode(&resp); err != nil {
 		return response{}, err
-	}
-	if resp.Error != "" {
-		return resp, errors.New(resp.Error)
 	}
 	return resp, nil
 }

@@ -120,9 +120,12 @@ func TestServerRequestTelemetry(t *testing.T) {
 	if got := reg.Counter("coord.request_errors").Value(); got != 1 {
 		t.Errorf("coord.request_errors = %d, want 1", got)
 	}
-	if got := reg.Counter("coord.connections").Value(); got != 5 {
-		// The client dials one connection per round trip.
-		t.Errorf("coord.connections = %d, want 5", got)
+	if got := reg.Counter("coord.connections").Value(); got != 1 {
+		// The client pools its connection: five round trips, one dial.
+		t.Errorf("coord.connections = %d, want 1", got)
+	}
+	if got := reg.Counter("coord.connections.json").Value(); got != 1 {
+		t.Errorf("coord.connections.json = %d, want 1", got)
 	}
 	h := reg.Histogram("coord.request_latency_s", nil).Snapshot()
 	if h.Count != 5 {

@@ -1,0 +1,461 @@
+package coord
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"sprintgame/internal/telemetry"
+)
+
+// Router is a consistent-hash front over several coordinator shards.
+// It speaks the same wire protocol as a Server (both JSON lines and
+// binary frames, negotiated per connection), so clients cannot tell a
+// router from a single coordinator.
+//
+// Correctness hinges on every shard seeing the whole population:
+// Algorithm 1 solves a game over all profiles, so "submit" requests
+// are replicated to every shard (serialized, so shards apply profile
+// updates in one order). "strategies" requests are routed by a
+// fingerprint of the complete profile state: identical states hash to
+// the same shard, which keeps that shard's pooled-density memo and
+// the solve cache hot, while any profile change re-routes to a (likely)
+// different shard, spreading solve work across the ring.
+//
+// A shard that fails a request is marked down with doubling backoff
+// (the cluster engine's retry convention) and its requests re-hash to
+// the ring successor. The router keeps a replica of all profiles, so a
+// recovering shard is replayed the full profile state before it serves
+// again.
+
+// Router defaults.
+const (
+	// DefaultVirtualNodes is the number of hash-ring points per shard;
+	// more points smooth the key distribution across shards.
+	DefaultVirtualNodes = 32
+	// DefaultShardBackoff is the base delay before retrying a down
+	// shard, doubling per consecutive failure (capped at
+	// maxShardBackoff).
+	DefaultShardBackoff = 10 * time.Millisecond
+	maxShardBackoff     = time.Second
+)
+
+// RouterOptions configures a Router.
+type RouterOptions struct {
+	// Addr is the front-side TCP listen address (e.g. "127.0.0.1:0").
+	Addr string
+	// Shards lists the coordinator shard addresses. At least one is
+	// required.
+	Shards []string
+	// VirtualNodes is the number of ring points per shard; zero selects
+	// DefaultVirtualNodes.
+	VirtualNodes int
+	// ShardProto is the protocol for router→shard connections:
+	// ProtoBinary (the default) or ProtoJSON.
+	ShardProto Proto
+	// ShardBackoff is the base retry delay for a down shard, doubling
+	// per consecutive failure. Zero selects DefaultShardBackoff;
+	// negative disables backoff (every request may probe a down shard).
+	ShardBackoff time.Duration
+	// ConnTimeout is the front-side per-connection deadline (see
+	// ServeOptions.ConnTimeout).
+	ConnTimeout time.Duration
+	// RequestTimeout bounds each router→shard round trip (see
+	// ClientOptions.RequestTimeout).
+	RequestTimeout time.Duration
+	// Metrics, when non-nil, receives router metrics (router.requests,
+	// router.shard_errors, router.rehashes, router.replays, ...).
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, records router.request/router.route/
+	// router.forward spans; forwarded requests carry the trace so shard
+	// spans stitch under the router's.
+	Tracer *telemetry.Tracer
+}
+
+// routerShard is one shard's client plus its health state.
+type routerShard struct {
+	addr   string
+	client *Client
+
+	mu       sync.Mutex
+	down     bool
+	failures int       // consecutive failures, drives the backoff
+	retryAt  time.Time // earliest next attempt while down
+	// needsReplay marks a shard that may have missed profile updates
+	// (every failure implies it: even a failed strategies forward means
+	// an earlier submit could have been dropped by the same outage).
+	needsReplay bool
+}
+
+// usable reports whether the shard should be tried now: healthy, or
+// down with an expired backoff (a probe).
+func (s *routerShard) usable(now time.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.down || !now.Before(s.retryAt)
+}
+
+// markDown records a failure: doubling backoff per consecutive
+// failure, cluster retry convention (negative base disables delays).
+func (s *routerShard) markDown(base time.Duration, now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.down = true
+	s.needsReplay = true
+	s.failures++
+	if base < 0 {
+		s.retryAt = now
+		return
+	}
+	if base == 0 {
+		base = DefaultShardBackoff
+	}
+	d := base << (s.failures - 1)
+	if d > maxShardBackoff || d < base {
+		d = maxShardBackoff
+	}
+	s.retryAt = now.Add(d)
+}
+
+// markUp clears the failure state after a successful request.
+func (s *routerShard) markUp() {
+	s.mu.Lock()
+	s.down = false
+	s.failures = 0
+	s.mu.Unlock()
+}
+
+// ringPoint is one virtual node on the hash ring.
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// Router fronts a set of coordinator shards; see the package comment
+// above. Create with NewRouter, stop with Close.
+type Router struct {
+	a       *acceptor
+	shards  []*routerShard
+	ring    []ringPoint
+	backoff time.Duration
+	metrics *telemetry.Registry
+	tracer  *telemetry.Tracer
+
+	// submitMu serializes profile replication (submit fan-out and
+	// recovery replays), so every shard applies updates in one order.
+	submitMu sync.Mutex
+
+	// mu guards the replicated profile store and its fingerprint.
+	mu        sync.Mutex
+	profiles  map[string]Profile
+	agentHash map[string]uint64
+	fp        uint64 // XOR of per-agent profile hashes
+}
+
+// NewRouter starts a router over the given shards.
+func NewRouter(opts RouterOptions) (*Router, error) {
+	if len(opts.Shards) == 0 {
+		return nil, errors.New("coord: router needs at least one shard")
+	}
+	vnodes := opts.VirtualNodes
+	if vnodes == 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	if vnodes < 1 {
+		return nil, fmt.Errorf("coord: router needs at least one virtual node per shard, got %d", vnodes)
+	}
+	proto := opts.ShardProto
+	if proto == "" {
+		proto = ProtoBinary
+	}
+	if !proto.Valid() {
+		return nil, fmt.Errorf("coord: unknown shard protocol %q", proto)
+	}
+	r := &Router{
+		backoff:   opts.ShardBackoff,
+		metrics:   opts.Metrics,
+		tracer:    opts.Tracer,
+		profiles:  make(map[string]Profile),
+		agentHash: make(map[string]uint64),
+	}
+	for i, addr := range opts.Shards {
+		// Shard clients are untraced: the router propagates trace IDs
+		// explicitly on the forwarded requests, so shard-side spans
+		// stitch under router.forward without client-side spans.
+		client := NewClientWith(addr, ClientOptions{
+			Proto:          proto,
+			RequestTimeout: opts.RequestTimeout,
+			Metrics:        opts.Metrics,
+		})
+		r.shards = append(r.shards, &routerShard{addr: addr, client: client})
+		for v := 0; v < vnodes; v++ {
+			r.ring = append(r.ring, ringPoint{hash: ringHash(addr, v), shard: i})
+		}
+	}
+	sort.Slice(r.ring, func(i, j int) bool { return r.ring[i].hash < r.ring[j].hash })
+	ep := &endpoint{
+		prefix:   "router",
+		timeout:  normalizeTimeout(opts.ConnTimeout, DefaultConnTimeout),
+		metrics:  opts.Metrics,
+		tracer:   opts.Tracer,
+		dispatch: r.dispatch,
+	}
+	a, err := newAcceptor(opts.Addr, ep)
+	if err != nil {
+		for _, sh := range r.shards {
+			_ = sh.client.Close()
+		}
+		return nil, err
+	}
+	r.a = a
+	return r, nil
+}
+
+// Addr returns the router's front-side listen address.
+func (r *Router) Addr() string { return r.a.addr() }
+
+// Close stops the router and releases shard connections.
+func (r *Router) Close() error {
+	err := r.a.close()
+	for _, sh := range r.shards {
+		_ = sh.client.Close()
+	}
+	return err
+}
+
+// ringHash places one virtual node on the ring.
+func ringHash(addr string, vnode int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s#%d", addr, vnode)
+	return h.Sum64()
+}
+
+// profileHash fingerprints one profile; the router's routing key is the
+// XOR over all agents, updated incrementally per submit.
+func profileHash(p Profile) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeStr := func(s string) {
+		n := len(s)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(n >> (8 * i))
+		}
+		h.Write(buf[:])
+		h.Write([]byte(s))
+	}
+	writeF64 := func(v float64) {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	writeStr(p.Agent)
+	writeStr(p.Class)
+	for _, v := range p.Values {
+		writeF64(v)
+	}
+	for _, w := range p.Weights {
+		writeF64(w)
+	}
+	return h.Sum64()
+}
+
+// shardOrder returns shard indices in ring order starting at the owner
+// of key h: the first entry is the preferred shard, the rest are the
+// failover succession.
+func (r *Router) shardOrder(h uint64) []int {
+	out := make([]int, 0, len(r.shards))
+	seen := make([]bool, len(r.shards))
+	i := sort.Search(len(r.ring), func(i int) bool { return r.ring[i].hash >= h })
+	for k := 0; k < len(r.ring) && len(out) < len(r.shards); k++ {
+		p := r.ring[(i+k)%len(r.ring)]
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			out = append(out, p.shard)
+		}
+	}
+	return out
+}
+
+func (r *Router) dispatch(req request, root *telemetry.Span) response {
+	span := root.Child("router.route")
+	resp := r.route(req, span)
+	span.EndWith(telemetry.Fields{"type": req.Type, "error": resp.Error})
+	return resp
+}
+
+func (r *Router) route(req request, span *telemetry.Span) response {
+	switch req.Type {
+	case "submit":
+		return r.routeSubmit(req, span)
+	default:
+		// "strategies" and unknown types route to one shard by the
+		// profile-state fingerprint; unknown types draw the shard's own
+		// error so routed and direct deployments answer identically.
+		r.mu.Lock()
+		key := r.fp
+		r.mu.Unlock()
+		resp, ok := r.forwardFirst(key, req, span)
+		if !ok {
+			return response{Error: "router: no shards available"}
+		}
+		return resp
+	}
+}
+
+// routeSubmit replicates one profile to every shard. The profile lands
+// in the router's replica first, so a shard that misses the update
+// (down, or failing mid-request) is replayed the full state before it
+// serves again.
+func (r *Router) routeSubmit(req request, span *telemetry.Span) response {
+	if req.Profile == nil {
+		return response{Error: "submit requires a profile"}
+	}
+	if err := req.Profile.Validate(); err != nil {
+		return response{Error: err.Error()}
+	}
+	r.submitMu.Lock()
+	defer r.submitMu.Unlock()
+
+	p := *req.Profile
+	h := profileHash(p)
+	r.mu.Lock()
+	if old, ok := r.agentHash[p.Agent]; ok {
+		r.fp ^= old
+	}
+	r.fp ^= h
+	r.agentHash[p.Agent] = h
+	r.profiles[p.Agent] = p
+	r.mu.Unlock()
+
+	now := time.Now()
+	accepted := 0
+	var lastErr string
+	for _, sh := range r.shards {
+		if !sh.usable(now) {
+			continue // replayed on recovery
+		}
+		resp, err := r.forwardOne(sh, req, span)
+		if err != nil {
+			continue // marked down by forwardOne, replayed on recovery
+		}
+		if resp.Error != "" {
+			// The router validated the profile, so a shard-side error is
+			// a real disagreement worth surfacing.
+			lastErr = resp.Error
+			continue
+		}
+		accepted++
+	}
+	if accepted == 0 {
+		if lastErr != "" {
+			return response{Error: lastErr}
+		}
+		return response{Error: "router: no shards available"}
+	}
+	return response{OK: "profile accepted"}
+}
+
+// forwardFirst walks the ring succession for key h and returns the
+// first shard's answer; ok is false when every shard is unavailable.
+func (r *Router) forwardFirst(h uint64, req request, span *telemetry.Span) (response, bool) {
+	now := time.Now()
+	for hop, si := range r.shardOrder(h) {
+		sh := r.shards[si]
+		if !sh.usable(now) {
+			continue
+		}
+		if hop > 0 {
+			// Not the ring owner: the preferred shard was skipped or
+			// failed and the key re-hashed to a successor.
+			r.metrics.Counter("router.rehashes").Inc()
+		}
+		if !r.replayIfNeeded(sh, span) {
+			continue
+		}
+		resp, err := r.forwardOne(sh, req, span)
+		if err != nil {
+			continue
+		}
+		return resp, true
+	}
+	return response{}, false
+}
+
+// forwardOne sends req to one shard, stitching the span chain
+// (router.forward parents the shard's coord.request) and maintaining
+// the shard's health state.
+func (r *Router) forwardOne(sh *routerShard, req request, span *telemetry.Span) (response, error) {
+	fs := span.Child("router.forward")
+	fwd := req
+	fwd.Trace = span.TraceID()
+	fwd.Parent = fs.SpanID()
+	resp, err := sh.client.doRaw(fwd)
+	fields := telemetry.Fields{"shard": sh.addr, "type": req.Type}
+	if err != nil {
+		r.metrics.Counter("router.shard_errors").Inc()
+		sh.markDown(r.backoff, time.Now())
+		fields["error"] = err.Error()
+	} else {
+		sh.markUp()
+		if resp.Error != "" {
+			fields["error"] = resp.Error
+		}
+	}
+	fs.EndWith(fields)
+	return resp, err
+}
+
+// replayIfNeeded pushes the router's full profile replica to a shard
+// that may have missed updates. Returns false (and re-marks the shard
+// down) when the replay fails.
+func (r *Router) replayIfNeeded(sh *routerShard, span *telemetry.Span) bool {
+	sh.mu.Lock()
+	needed := sh.needsReplay
+	sh.mu.Unlock()
+	if !needed {
+		return true
+	}
+	// Serialize against submit fan-out so a replay and a concurrent
+	// submit cannot interleave their updates to this shard.
+	r.submitMu.Lock()
+	defer r.submitMu.Unlock()
+	sh.mu.Lock()
+	needed = sh.needsReplay
+	sh.mu.Unlock()
+	if !needed { // another request replayed it while we waited
+		return true
+	}
+
+	r.mu.Lock()
+	agents := make([]string, 0, len(r.profiles))
+	for id := range r.profiles {
+		agents = append(agents, id)
+	}
+	sort.Strings(agents)
+	profiles := make([]Profile, 0, len(agents))
+	for _, id := range agents {
+		profiles = append(profiles, r.profiles[id])
+	}
+	r.mu.Unlock()
+
+	rs := span.Child("router.replay")
+	for i := range profiles {
+		resp, err := r.forwardOne(sh, request{Type: "submit", Profile: &profiles[i]}, rs)
+		if err != nil || resp.Error != "" {
+			rs.EndWith(telemetry.Fields{"shard": sh.addr, "profiles": i, "error": "replay aborted"})
+			return false
+		}
+	}
+	sh.mu.Lock()
+	sh.needsReplay = false
+	sh.mu.Unlock()
+	r.metrics.Counter("router.replays").Inc()
+	rs.EndWith(telemetry.Fields{"shard": sh.addr, "profiles": len(profiles)})
+	return true
+}

@@ -1,0 +1,306 @@
+package coord
+
+import (
+	"fmt"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+
+	"sprintgame/internal/core"
+	"sprintgame/internal/telemetry"
+)
+
+// startShards launches n coordinator shards sharing one solve cache
+// (the sharded deployment shape: one cache, many servers).
+func startShards(t *testing.T, n int, cache *core.SolveCache) ([]*Server, []string) {
+	t.Helper()
+	servers := make([]*Server, n)
+	addrs := make([]string, n)
+	for i := range servers {
+		c, err := NewCoordinator(gameConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := ServeWith(c, ServeOptions{Addr: "127.0.0.1:0", Cache: cache})
+		if err != nil {
+			t.Skipf("cannot listen on loopback: %v", err)
+		}
+		t.Cleanup(func() { _ = srv.Close() })
+		servers[i] = srv
+		addrs[i] = srv.Addr()
+	}
+	return servers, addrs
+}
+
+func testProfiles(t *testing.T) []Profile {
+	t.Helper()
+	var ps []Profile
+	for i := 0; i < 6; i++ {
+		ps = append(ps, profileFor(t, fmt.Sprintf("d%d", i), "decision", uint64(i+1), 300))
+	}
+	for i := 0; i < 3; i++ {
+		ps = append(ps, profileFor(t, fmt.Sprintf("p%d", i), "pagerank", uint64(i+70), 300))
+	}
+	return ps
+}
+
+// TestRouterDifferential pins the sharding contract: a router over
+// shards sharing one cache must answer byte-identically to a lone
+// unsharded server, over both front protocols.
+func TestRouterDifferential(t *testing.T) {
+	// Unsharded reference.
+	refSrv, refClient := startServer(t)
+	defer refSrv.Close()
+
+	cache := core.NewSolveCache(32, nil)
+	cache.SetBatching(true)
+	_, addrs := startShards(t, 3, cache)
+	router, err := NewRouter(RouterOptions{Addr: "127.0.0.1:0", Shards: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+
+	for _, proto := range []Proto{ProtoJSON, ProtoBinary} {
+		client := NewClientWith(router.Addr(), ClientOptions{Proto: proto})
+		for _, p := range testProfiles(t) {
+			if err := client.SubmitProfile(p); err != nil {
+				t.Fatalf("%s: submit via router: %v", proto, err)
+			}
+			if err := refClient.SubmitProfile(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, gotPtrip, err := client.FetchStrategies()
+		if err != nil {
+			t.Fatalf("%s: strategies via router: %v", proto, err)
+		}
+		want, wantPtrip, err := refClient.FetchStrategies()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotPtrip != wantPtrip {
+			t.Errorf("%s: ptrip via router %v, direct %v", proto, gotPtrip, wantPtrip)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: routed strategies differ from direct:\n routed %+v\n direct %+v", proto, got, want)
+		}
+		// Error parity: unknown types and bad submits answer like a
+		// direct server.
+		if _, err := client.roundTrip(request{Type: "dance"}); err == nil || !contains(err.Error(), "unknown request type") {
+			t.Errorf("%s: unknown type via router: %v", proto, err)
+		}
+		if err := client.SubmitProfile(Profile{Agent: "x"}); err == nil {
+			t.Errorf("%s: invalid profile accepted via router", proto)
+		}
+		_ = client.Close()
+	}
+}
+
+// TestRouterCrossShardSingleflight pins the shared-cache guarantee:
+// concurrent identical strategies requests against different shards
+// must trigger exactly one equilibrium solve.
+func TestRouterCrossShardSingleflight(t *testing.T) {
+	cache := core.NewSolveCache(32, nil)
+	cache.SetBatching(true)
+	_, addrs := startShards(t, 2, cache)
+
+	// Submit the same population to both shards directly.
+	clients := []*Client{NewClient(addrs[0]), NewClient(addrs[1])}
+	defer clients[0].Close()
+	defer clients[1].Close()
+	for _, p := range testProfiles(t) {
+		for _, c := range clients {
+			if err := c.SubmitProfile(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Concurrent strategies against both shards: one solve key, two
+	// shards, many requests.
+	const perShard = 4
+	var wg sync.WaitGroup
+	results := make([]map[string]Strategy, 2*perShard)
+	errs := make([]error, 2*perShard)
+	for i := 0; i < 2*perShard; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			results[slot], _, errs[slot] = clients[slot%2].FetchStrategies()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(results[i], results[0]) {
+			t.Errorf("request %d: strategies differ across shards", i)
+		}
+	}
+	if st := cache.Stats(); st.Misses != 1 {
+		t.Errorf("cache misses = %d, want 1 (one solve across both shards)", st.Misses)
+	}
+}
+
+// TestRouterShardLossRehash kills the ring owner for the current
+// profile state and checks the router re-hashes to the successor
+// without failing the request.
+func TestRouterShardLossRehash(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cache := core.NewSolveCache(32, nil)
+	servers, addrs := startShards(t, 2, cache)
+	router, err := NewRouter(RouterOptions{
+		Addr: "127.0.0.1:0", Shards: addrs, ShardBackoff: -1, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	client := NewClientWith(router.Addr(), ClientOptions{Proto: ProtoBinary})
+	defer client.Close()
+
+	for _, p := range testProfiles(t) {
+		if err := client.SubmitProfile(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, wantPtrip, err := client.FetchStrategies()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the shard that owns the current fingerprint.
+	router.mu.Lock()
+	owner := router.shardOrder(router.fp)[0]
+	router.mu.Unlock()
+	_ = servers[owner].Close()
+
+	got, gotPtrip, err := client.FetchStrategies()
+	if err != nil {
+		t.Fatalf("strategies after owner loss: %v", err)
+	}
+	if gotPtrip != wantPtrip || !reflect.DeepEqual(got, want) {
+		t.Error("failover answer differs from pre-loss answer")
+	}
+	if got := reg.Counter("router.shard_errors").Value(); got < 1 {
+		t.Errorf("router.shard_errors = %d, want >= 1", got)
+	}
+	if got := reg.Counter("router.rehashes").Value(); got < 1 {
+		t.Errorf("router.rehashes = %d, want >= 1", got)
+	}
+}
+
+// TestRouterReplaysRecoveredShard covers the draining/recovery path: a
+// shard that was down through the submit phase is replayed the full
+// profile replica before serving, so answers stay correct even when it
+// is the only shard left.
+func TestRouterReplaysRecoveredShard(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cache := core.NewSolveCache(32, nil)
+	servers, addrs := startShards(t, 1, cache)
+
+	// Reserve an address for the late shard.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	lateAddr := ln.Addr().String()
+	_ = ln.Close()
+
+	router, err := NewRouter(RouterOptions{
+		Addr:   "127.0.0.1:0",
+		Shards: []string{addrs[0], lateAddr},
+		// Probe down shards immediately: the test must not depend on
+		// backoff timing.
+		ShardBackoff: -1,
+		Metrics:      reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	client := NewClient(router.Addr())
+	defer client.Close()
+
+	// Submits land only on the live shard; the late one is marked down.
+	for _, p := range testProfiles(t) {
+		if err := client.SubmitProfile(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, wantPtrip, err := client.FetchStrategies()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The late shard comes up empty; the original shard dies. Every
+	// correct answer now requires the router to replay its replica.
+	lateCoord, err := NewCoordinator(gameConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lateSrv, err := ServeWith(lateCoord, ServeOptions{Addr: lateAddr, Cache: cache})
+	if err != nil {
+		t.Skipf("cannot re-listen on reserved address: %v", err)
+	}
+	t.Cleanup(func() { _ = lateSrv.Close() })
+	_ = servers[0].Close()
+
+	got, gotPtrip, err := client.FetchStrategies()
+	if err != nil {
+		t.Fatalf("strategies after failover to recovered shard: %v", err)
+	}
+	if gotPtrip != wantPtrip || !reflect.DeepEqual(got, want) {
+		t.Error("recovered shard answers differently from the original")
+	}
+	if got := reg.Counter("router.replays").Value(); got != 1 {
+		t.Errorf("router.replays = %d, want 1", got)
+	}
+	if got := lateCoord.AgentCount(); got != len(testProfiles(t)) {
+		t.Errorf("recovered shard has %d profiles, want %d", got, len(testProfiles(t)))
+	}
+}
+
+// TestRouterConcurrent hammers the router with concurrent submits and
+// strategy fetches over both protocols; run under -race this pins the
+// locking around the replica, fingerprint, and shard health state.
+func TestRouterConcurrent(t *testing.T) {
+	cache := core.NewSolveCache(64, nil)
+	cache.SetBatching(true)
+	_, addrs := startShards(t, 2, cache)
+	router, err := NewRouter(RouterOptions{Addr: "127.0.0.1:0", Shards: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+
+	profiles := testProfiles(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		proto := ProtoJSON
+		if w%2 == 1 {
+			proto = ProtoBinary
+		}
+		wg.Add(1)
+		go func(w int, proto Proto) {
+			defer wg.Done()
+			client := NewClientWith(router.Addr(), ClientOptions{Proto: proto})
+			defer client.Close()
+			for i := 0; i < 6; i++ {
+				p := profiles[(w*6+i)%len(profiles)]
+				if err := client.SubmitProfile(p); err != nil {
+					t.Errorf("worker %d: submit: %v", w, err)
+					return
+				}
+				if _, _, err := client.FetchStrategies(); err != nil {
+					t.Errorf("worker %d: strategies: %v", w, err)
+					return
+				}
+			}
+		}(w, proto)
+	}
+	wg.Wait()
+}

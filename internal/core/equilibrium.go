@@ -286,6 +286,16 @@ func solveClass(c *AgentClass, ptrip float64, cfg Config, guess *Values, out *Cl
 	if err != nil {
 		return fmt.Errorf("core: class %q: %w", c.Name, err)
 	}
+	classOutcome(c, vals, cfg, out)
+	*guess = vals
+	return nil
+}
+
+// classOutcome derives one class's population statistics (Eqs. 9-10)
+// from its converged dynamic program. Shared by the per-call path above
+// and the batched SoA solver (batch.go), so both produce bit-identical
+// outcomes from identical Values.
+func classOutcome(c *AgentClass, vals Values, cfg Config, out *ClassOutcome) {
 	ps := SprintProbability(c.Density, vals.Threshold)
 	pa := ActiveFraction(ps, cfg.Pc)
 	*out = ClassOutcome{
@@ -296,8 +306,6 @@ func solveClass(c *AgentClass, ptrip float64, cfg Config, guess *Values, out *Cl
 		ExpectedSprinters: ps * pa * float64(c.Count),
 		Values:            vals,
 	}
-	*guess = vals
-	return nil
 }
 
 // finishSolve records end-of-run solver telemetry.

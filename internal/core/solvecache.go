@@ -37,6 +37,22 @@ type SolveCache struct {
 	entries  map[uint64]*list.Element // key -> element whose Value is *cacheEntry
 	order    *list.List               // front = most recently used
 	inflight map[uint64]*inflightSolve
+
+	// Batching mode (SetBatching): misses are queued and drained in
+	// rounds through SolveBatch instead of each solving on its own
+	// goroutine, so concurrent misses for distinct keys coalesce into
+	// one SoA solve pass. leaderActive guards the single drainer.
+	batching     bool
+	pending      []pendingSolve
+	leaderActive bool
+}
+
+// pendingSolve is one queued miss awaiting a batched round.
+type pendingSolve struct {
+	key     uint64
+	classes []AgentClass
+	cfg     Config
+	call    *inflightSolve
 }
 
 // cacheEntry is one memoized solution.
@@ -173,6 +189,35 @@ func (c *SolveCache) FindEquilibriumSpanned(classes []AgentClass, cfg Config, pa
 	}
 	call := &inflightSolve{done: make(chan struct{})}
 	c.inflight[key] = call
+	if c.batching {
+		c.pending = append(c.pending, pendingSolve{key: key, classes: classes, cfg: cfg, call: call})
+		becameLeader := !c.leaderActive
+		if becameLeader {
+			c.leaderActive = true
+		}
+		c.mu.Unlock()
+		c.misses.Add(1)
+		c.metrics.Counter("solvecache.misses").Inc()
+		if lookup != nil {
+			lookup.EndWith(telemetry.Fields{"outcome": "miss"})
+		}
+		if becameLeader {
+			// Drain one round — it contains this caller's own key, so the
+			// wait below returns immediately — then hand any backlog that
+			// accumulated mid-round to a detached drainer, keeping this
+			// request's latency bounded by a single round.
+			c.solveRound(c.takePending(), parent)
+			c.mu.Lock()
+			if len(c.pending) > 0 {
+				go c.drainRounds()
+			} else {
+				c.leaderActive = false
+			}
+			c.mu.Unlock()
+		}
+		<-call.done
+		return call.eq, call.err
+	}
 	c.mu.Unlock()
 
 	c.misses.Add(1)
@@ -190,20 +235,107 @@ func (c *SolveCache) FindEquilibriumSpanned(classes []AgentClass, cfg Config, pa
 	c.mu.Lock()
 	delete(c.inflight, key)
 	if call.err == nil {
-		el := c.order.PushFront(&cacheEntry{key: key, eq: call.eq})
-		c.entries[key] = el
-		for c.order.Len() > c.capacity {
-			oldest := c.order.Back()
-			c.order.Remove(oldest)
-			delete(c.entries, oldest.Value.(*cacheEntry).key)
-			c.evictions.Add(1)
-			c.metrics.Counter("solvecache.evictions").Inc()
-		}
+		c.insertLocked(key, call.eq)
 	}
 	c.metrics.Gauge("solvecache.size").Set(float64(c.order.Len()))
 	c.mu.Unlock()
 	close(call.done)
 	return call.eq, call.err
+}
+
+// SetBatching switches the cache between per-goroutine misses (off, the
+// default) and batched rounds (on): concurrent misses for distinct keys
+// queue and are solved together through SolveBatch's structure-of-
+// arrays lanes, one round at a time. Identical keys still coalesce via
+// singleflight before ever reaching a round, so a round's lanes are
+// all distinct game instances. A nil cache ignores the call. Toggling
+// while solves are in flight is safe: queued misses are always drained
+// by whichever goroutine held leadership when they were queued.
+func (c *SolveCache) SetBatching(on bool) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.batching = on
+	c.mu.Unlock()
+}
+
+// takePending claims the current queue of misses.
+func (c *SolveCache) takePending() []pendingSolve {
+	c.mu.Lock()
+	batch := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+	return batch
+}
+
+// drainRounds serves rounds until the queue is empty, then releases
+// leadership. The empty-check and the release happen under one lock
+// acquisition so a concurrent miss either lands in a round or elects
+// itself leader — never neither.
+func (c *SolveCache) drainRounds() {
+	for {
+		c.mu.Lock()
+		batch := c.pending
+		c.pending = nil
+		if len(batch) == 0 {
+			c.leaderActive = false
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Unlock()
+		c.solveRound(batch, nil)
+	}
+}
+
+// solveRound solves one batch of queued misses through SolveBatch,
+// publishes the results, and wakes the waiters. The parent span, when
+// non-nil (the leader's own request), receives one core.solve_batch
+// child covering the whole round.
+func (c *SolveCache) solveRound(batch []pendingSolve, parent *telemetry.Span) {
+	if len(batch) == 0 {
+		return
+	}
+	span := parent.Child("core.solve_batch")
+	reqs := make([]SolveRequest, len(batch))
+	for i, p := range batch {
+		cfg := p.cfg
+		cfg.Span = nil // batch lanes emit no per-iteration spans
+		reqs[i] = SolveRequest{Classes: p.classes, Cfg: cfg}
+	}
+	results := SolveBatch(reqs)
+	c.metrics.Counter("solvecache.batches").Inc()
+	c.metrics.Counter("solvecache.batch_lanes").Add(int64(len(batch)))
+	if span != nil {
+		span.EndWith(telemetry.Fields{"lanes": len(batch)})
+	}
+	c.mu.Lock()
+	for i, p := range batch {
+		p.call.eq, p.call.err = results[i].Eq, results[i].Err
+		delete(c.inflight, p.key)
+		if p.call.err == nil {
+			c.insertLocked(p.key, p.call.eq)
+		}
+	}
+	c.metrics.Gauge("solvecache.size").Set(float64(c.order.Len()))
+	c.mu.Unlock()
+	for _, p := range batch {
+		close(p.call.done)
+	}
+}
+
+// insertLocked files a solved equilibrium under key and enforces the
+// LRU bound. Caller holds c.mu.
+func (c *SolveCache) insertLocked(key uint64, eq *Equilibrium) {
+	el := c.order.PushFront(&cacheEntry{key: key, eq: eq})
+	c.entries[key] = el
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
+		c.metrics.Counter("solvecache.evictions").Inc()
+	}
 }
 
 // solveFields summarizes a solve's outcome for its core.solve span.

@@ -5,12 +5,17 @@
 # BENCH_core.json — one JSON object per benchmark — so successive PRs
 # can diff scaling behaviour and the solver's perf trajectory.
 #
-# Usage: scripts/bench.sh [benchtime]   (default 1x)
+# Usage: scripts/bench.sh [benchtime]   (default 1s)
+#
+# The default benchtime is time-based (1s), not 1x: a single iteration
+# records "iterations": 1 for every entry and a noisy one-shot ns/op,
+# which makes cross-PR diffs meaningless. Pass an explicit count (e.g.
+# 1x) only when a smoke run is all that's needed.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-BENCHTIME="${1:-1x}"
+BENCHTIME="${1:-1s}"
 
 # json_from_bench < raw-go-bench-output > json-array
 json_from_bench() {
@@ -43,24 +48,28 @@ echo "wrote BENCH_cluster.json:"
 cat BENCH_cluster.json
 
 # Core solver benchmarks: sweep kernels (reference scan vs O(log n)
-# crossover, small/large densities) and cold Algorithm 1 runs (serial vs
-# parallel, 1/4/8 classes).
+# crossover, small/large densities), cold Algorithm 1 runs (serial vs
+# parallel, 1/4/8 classes), and the batched SoA solver vs per-call
+# solving.
 go test -run '^$' \
-	-bench 'BenchmarkSolveBellman$|BenchmarkSolveBellmanKernel|BenchmarkFindEquilibriumCold' \
+	-bench 'BenchmarkSolveBellman$|BenchmarkSolveBellmanKernel|BenchmarkFindEquilibriumCold|BenchmarkSolveBatch' \
 	-benchtime "$BENCHTIME" ./internal/core >"$RAW"
 json_from_bench <"$RAW" >BENCH_core.json
 echo "wrote BENCH_core.json:"
 cat BENCH_core.json
 
-# Serving-path benchmark: closed-loop load against an in-process
-# coordinator (TCP wire protocol, solve cache, profile churn), reported
-# as throughput plus p50/p99/p99.9 latency. coordbench writes the JSON
-# itself — requests/sec and tail percentiles, not ns/op — so this stage
-# bypasses json_from_bench.
+# Serving-path benchmark: closed-loop load against in-process
+# coordinator topologies, reported as throughput plus p50/p99/p99.9
+# latency. -curve sweeps the shard-scaling grid — the direct single
+# server (pre-router baseline) plus 1/2/4 shards under both the JSON
+# and binary wire protocols — and records every point in the report's
+# "curve" array; the headline numbers are the 4-shard binary point.
+# coordbench writes the JSON itself — requests/sec and tail
+# percentiles, not ns/op — so this stage bypasses json_from_bench.
 BENCH_COORD_REQUESTS="${BENCH_COORD_REQUESTS:-2000}"
 go build -o "$RAW.coordbench" ./cmd/coordbench
 "$RAW.coordbench" -mode closed -concurrency 8 -requests "$BENCH_COORD_REQUESTS" \
-	-classes 3 -agents 256 -churn 0.05 -out BENCH_coord.json
+	-classes 3 -agents 256 -churn 0.05 -curve -out BENCH_coord.json
 rm -f "$RAW.coordbench"
 echo "wrote BENCH_coord.json:"
 cat BENCH_coord.json

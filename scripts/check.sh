@@ -37,6 +37,15 @@ go test -race ./internal/telemetry
 echo "== go test -race -short ./internal/cluster/..."
 go test -race -short ./internal/cluster/...
 
+# The sharded coordinator's correctness story is concurrency: one solve
+# cache shared by several shard servers (cross-shard singleflight), a
+# router mutating its replica/fingerprint/health state under
+# concurrent submits, and the batched SoA solver coalescing concurrent
+# misses. Run those suites under the race detector by name so a rename
+# that silently drops them from this pass is visible here.
+echo "== go test -race -run 'Router|Shard|Binary|Batch|Singleflight|Coalesce' ./internal/coord ./internal/core"
+go test -race -run 'Router|Shard|Binary|Batch|Singleflight|Coalesce' ./internal/coord ./internal/core
+
 # Fault injection exercises the engine's degraded paths (mid-run rack
 # kills, retries on derived streams, partial aggregation) across worker
 # counts, where a data race would silently break the determinism
@@ -66,6 +75,18 @@ go build -o "$SMOKE/traceview" ./cmd/traceview
 "$SMOKE/coordbench" -mode closed -concurrency 2 -requests 40 \
 	-classes 2 -agents 64 -trace "$SMOKE/spans.jsonl" -out "$SMOKE/bench.json" >/dev/null
 "$SMOKE/traceview" "$SMOKE/spans.jsonl" | grep -q 'coord.request'
+
+# Sharded smoke: the same pipeline through a 2-shard router speaking
+# the binary protocol. The greps pin that spans stitch across the
+# router hop — the router's forward span and the shard's coord.request
+# must land in one trace tree, not as disconnected roots.
+"$SMOKE/coordbench" -mode closed -concurrency 2 -requests 40 \
+	-classes 2 -agents 64 -shards 2 -proto binary \
+	-trace "$SMOKE/shard-spans.jsonl" -out "$SMOKE/shard-bench.json" >/dev/null
+"$SMOKE/traceview" "$SMOKE/shard-spans.jsonl" >"$SMOKE/shard-view.txt"
+grep -q 'router.request' "$SMOKE/shard-view.txt"
+grep -q 'router.forward' "$SMOKE/shard-view.txt"
+grep -q 'coord.request' "$SMOKE/shard-view.txt"
 
 # Same idea for the routing layer: a short policy shootout with span
 # tracing on, then traceview over the capture. Greps pin the span tree
