@@ -24,11 +24,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 
 	"sprintgame/internal/cluster"
 	"sprintgame/internal/core"
+	"sprintgame/internal/persist"
 	"sprintgame/internal/power"
 	"sprintgame/internal/route"
 	"sprintgame/internal/sim"
@@ -41,12 +44,13 @@ func main() {
 		racks     = flag.Int("racks", 8, "number of racks in the cluster")
 		chips     = flag.Int("chips", 256, "chips (agents) per rack")
 		epochs    = flag.Int("epochs", 1000, "epochs to simulate per rack")
-		workers   = flag.Int("workers", 0, "worker goroutines (0 = NumCPU); results are identical for any value")
+		workers   = flag.String("workers", "0", "worker goroutines: a count (0 = NumCPU) or \"auto\" to size the pool from a short calibration run's rack task-rate histogram; results are identical for any value")
 		apps      = flag.String("app", "decision", "comma-separated benchmark names for each rack's mix")
 		rotate    = flag.Bool("rotate", false, "rotate the app mix per rack for a heterogeneous cluster")
 		polName   = flag.String("policy", "equilibrium", "greedy | backoff | equilibrium | never")
 		seed      = flag.Uint64("seed", 1, "cluster base seed (per-rack seeds are derived)")
 		cacheSize = flag.Int("cache-size", 0, "equilibrium solve-cache capacity (0 = default)")
+		cacheDir  = flag.String("cache-dir", "", "directory for the disk solve-cache tier: warm-starts from and spills equilibria to <dir>/equilibria.log")
 		faultSpec = flag.String("faults", "", "inject rack faults: a kill rate in [0,1] (\"0.2\") or rack@epoch pairs (\"3@100,7@250\")")
 		transient = flag.Bool("fault-transient", false, "injected faults are transient: retried attempts run clean")
 		retries   = flag.Int("max-retries", 0, "retry attempts per restartable rack failure")
@@ -118,6 +122,20 @@ func main() {
 	}
 
 	cache := core.NewSolveCache(*cacheSize, metrics)
+	if *cacheDir != "" {
+		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+			fatal(err)
+		}
+		store, loaded, err := persist.OpenEquilibriumStore(filepath.Join(*cacheDir, "equilibria.log"))
+		if err != nil {
+			fatal(err)
+		}
+		defer store.Close()
+		cache.Warm(loaded)
+		cache.SetStore(store)
+		fmt.Printf("warm start: %d equilibria loaded from %s (%d records skipped)\n",
+			len(loaded), store.Path(), store.Skipped())
+	}
 	factory, err := cluster.FactoryByName(*polName, cache)
 	if err != nil {
 		fatal(err)
@@ -137,7 +155,6 @@ func main() {
 		Epochs:       *epochs,
 		BaseSeed:     *seed,
 		Game:         game,
-		Workers:      *workers,
 		Policy:       factory,
 		Metrics:      metrics,
 		Tracer:       tracer,
@@ -146,13 +163,32 @@ func main() {
 		MaxRetries:   *retries,
 	}
 
+	// Presolve the cluster's distinct game instances in one batched pass
+	// before any rack needs them (and before the calibration run below),
+	// so lazy per-rack solves never serialize the worker pool.
+	if *polName == "equilibrium" {
+		pst := cluster.PresolveEquilibria(ccfg, cache)
+		fmt.Printf("presolve: %d distinct game instances across %d racks (%d solved, %d already cached)\n",
+			pst.Distinct, pst.Racks, pst.Solved, pst.Cached)
+	}
+
+	switch *workers {
+	case "auto":
+		ccfg.Workers = autoSizeWorkers(ccfg)
+		fmt.Printf("workers: auto-sized to %d from the rack task-rate histogram\n", ccfg.Workers)
+	default:
+		n, err := strconv.Atoi(*workers)
+		if err != nil {
+			fatal(fmt.Errorf("-workers %q: want a count or \"auto\"", *workers))
+		}
+		ccfg.Workers = n
+	}
+
 	if *arrivals != "" {
 		serve(ccfg, *arrivals, *routeName, *replay, *polName)
 		writeMetrics(metrics, *metricsTo)
 		if *polName == "equilibrium" {
-			st := cache.Stats()
-			fmt.Printf("solve cache: %d solves, %d hits, %d coalesced (hit rate %.0f%%)\n",
-				st.Misses, st.Hits, st.Coalesced, 100*st.HitRate())
+			printCacheStats(cache, *cacheDir != "")
 		}
 		return
 	}
@@ -190,12 +226,49 @@ func main() {
 		}
 	}
 	if *polName == "equilibrium" {
-		st := cache.Stats()
-		fmt.Printf("solve cache: %d solves, %d hits, %d coalesced (hit rate %.0f%%)\n",
-			st.Misses, st.Hits, st.Coalesced, 100*st.HitRate())
+		printCacheStats(cache, *cacheDir != "")
 	}
 
 	writeMetrics(metrics, *metricsTo)
+}
+
+// printCacheStats reports the solve cache's counters, plus the disk
+// tier's when -cache-dir attached one.
+func printCacheStats(cache *core.SolveCache, diskTier bool) {
+	st := cache.Stats()
+	fmt.Printf("solve cache: %d solves, %d hits, %d coalesced (hit rate %.0f%%)\n",
+		st.Misses, st.Hits, st.Coalesced, 100*st.HitRate())
+	if diskTier {
+		fmt.Printf("disk tier: %d equilibria spilled, %d spill errors\n",
+			st.Spills, st.SpillErrors)
+	}
+}
+
+// calibrationEpochs bounds the -workers auto probe run: enough epochs
+// to observe per-rack task rates, cheap next to a production run.
+const calibrationEpochs = 50
+
+// autoSizeWorkers sizes the pool for -workers auto: a short calibration
+// prefix of the full cluster populates a private registry's
+// cluster.rack_task_rate histogram, and cluster.AutoWorkers turns the
+// observed cross-rack skew into a pool size. The probe shares the solve
+// cache through ccfg.Policy, so its equilibrium solves are not wasted —
+// the real run starts warm.
+func autoSizeWorkers(ccfg cluster.Config) int {
+	calib := telemetry.NewRegistry()
+	probe := ccfg
+	if probe.Epochs > calibrationEpochs {
+		probe.Epochs = calibrationEpochs
+	}
+	probe.Metrics = calib
+	probe.Tracer = nil
+	probe.Workers = 0
+	probe.Faults = nil // faults are scheduled against the real epoch count
+	if _, err := cluster.Run(probe); err != nil {
+		// Calibration is best-effort: fall back to CPU-count sizing.
+		return cluster.AutoWorkers(nil, len(ccfg.Racks))
+	}
+	return cluster.AutoWorkers(calib, len(ccfg.Racks))
 }
 
 // serve runs the event-driven serving mode: arrivals fire during

@@ -38,12 +38,14 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
 
 	"sprintgame/internal/coord"
 	"sprintgame/internal/core"
+	"sprintgame/internal/persist"
 	"sprintgame/internal/stats"
 	"sprintgame/internal/telemetry"
 )
@@ -59,6 +61,8 @@ type params struct {
 	agents      int
 	churn       float64
 	cacheSize   int
+	cacheDir    string
+	l1Size      int
 	seed        uint64
 }
 
@@ -74,6 +78,8 @@ func main() {
 		agents      = flag.Int("agents", 12, "agents (profiles) registered before the run")
 		churn       = flag.Float64("churn", 0, "per-request probability of resubmitting a perturbed profile (forces re-solves)")
 		cacheSize   = flag.Int("cache-size", 0, "server solve-cache capacity (0 = default; in-process server only)")
+		cacheDir    = flag.String("cache-dir", "", "directory for the disk solve-cache tier: the in-process server warm-starts from and spills equilibria to <dir>/equilibria.log")
+		l1Size      = flag.Int("l1-size", 0, "per-shard L1 cache capacity in front of the shared solve cache (0 disables; in-process server only)")
 		shards      = flag.Int("shards", 0, "in-process shard servers behind a router (0 = one direct server, no router)")
 		protoFlag   = flag.String("proto", "json", "wire protocol: json | binary")
 		curve       = flag.Bool("curve", false, "sweep shards x proto ({1,2,4} x {json,binary} plus the direct baseline) and record every point")
@@ -108,7 +114,11 @@ func main() {
 	p := params{
 		mode: *mode, concurrency: *concurrency, rate: *rate,
 		duration: *duration, requests: *requests, classes: *classes,
-		agents: *agents, churn: *churn, cacheSize: *cacheSize, seed: *seed,
+		agents: *agents, churn: *churn, cacheSize: *cacheSize,
+		cacheDir: *cacheDir, l1Size: *l1Size, seed: *seed,
+	}
+	if *cacheDir != "" && *addr != "" {
+		fatal(fmt.Errorf("-cache-dir needs the in-process server (drop -addr)"))
 	}
 
 	var report *Report
@@ -212,6 +222,20 @@ func runPoint(p params, shards int, proto coord.Proto, addr string, tracer *tele
 	}()
 	if target == "" {
 		cache = core.NewSolveCache(p.cacheSize, metrics)
+		if p.cacheDir != "" {
+			if err := os.MkdirAll(p.cacheDir, 0o755); err != nil {
+				return nil, err
+			}
+			store, loaded, err := persist.OpenEquilibriumStore(filepath.Join(p.cacheDir, "equilibria.log"))
+			if err != nil {
+				return nil, err
+			}
+			closers = append(closers, func() { _ = store.Close() })
+			cache.Warm(loaded)
+			cache.SetStore(store)
+			fmt.Printf("warm start: %d equilibria loaded from %s (%d records skipped)\n",
+				len(loaded), store.Path(), store.Skipped())
+		}
 		if shards > 0 {
 			// Sharded misses arrive concurrently from several shard
 			// servers; batching coalesces each round into one SoA solve.
@@ -227,6 +251,7 @@ func runPoint(p params, shards int, proto coord.Proto, addr string, tracer *tele
 					Metrics: metrics,
 					Tracer:  tracer,
 					Cache:   cache,
+					L1Size:  p.l1Size,
 				})
 				if err != nil {
 					return nil, err
@@ -256,6 +281,7 @@ func runPoint(p params, shards int, proto coord.Proto, addr string, tracer *tele
 				Metrics: metrics,
 				Tracer:  tracer,
 				Cache:   cache,
+				L1Size:  p.l1Size,
 			})
 			if err != nil {
 				return nil, err
@@ -305,6 +331,12 @@ func runPoint(p params, shards int, proto coord.Proto, addr string, tracer *tele
 		st := cache.Stats()
 		fmt.Printf("  solve cache %.1f%% hit (%d hits, %d coalesced, %d misses)\n",
 			100*st.HitRate(), st.Hits, st.Coalesced, st.Misses)
+		if p.cacheDir != "" {
+			// The headline for restart smoke tests: after a warm start the
+			// working set should serve without a single fresh solve.
+			fmt.Printf("  warm hit rate %.1f%% (%d spilled, %d spill errors)\n",
+				100*st.HitRate(), st.Spills, st.SpillErrors)
+		}
 	}
 	return report, nil
 }

@@ -15,12 +15,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 
 	"sprintgame/internal/coord"
 	"sprintgame/internal/core"
+	"sprintgame/internal/persist"
 	"sprintgame/internal/sim"
 	"sprintgame/internal/telemetry"
 	"sprintgame/internal/workload"
@@ -33,6 +35,8 @@ func main() {
 		bins        = flag.Int("bins", sim.DensityBins, "utility density bins")
 		connTimeout = flag.Duration("conn-timeout", coord.DefaultConnTimeout, "per-connection read/write deadline in serve mode (negative disables)")
 		cacheSize   = flag.Int("cache-size", core.DefaultSolveCacheCapacity, "equilibrium solve-cache capacity in serve mode (0 disables caching)")
+		cacheDir    = flag.String("cache-dir", "", "serve mode: directory for warm state — solved equilibria spill to <dir>/equilibria.log and reload on start; with -shards the router also journals profiles to <dir>/profiles.log")
+		l1Size      = flag.Int("l1-size", 0, "serve mode: per-shard L1 cache capacity in front of the shared solve cache (0 disables the L1 tier)")
 		shards      = flag.Int("shards", 0, "serve mode: front N coordinator shards (sharing one solve cache) with a router at the -serve address (0 = single server)")
 		shardProto  = flag.String("shard-proto", "binary", "serve mode with -shards: router-to-shard wire protocol (json | binary)")
 		traceOut    = flag.String("trace", "", "write a JSONL telemetry trace (solver/coordinator events) to this file ('-' for stdout)")
@@ -94,6 +98,25 @@ func main() {
 		if *cacheSize > 0 {
 			cache = core.NewSolveCache(*cacheSize, metrics)
 		}
+		var profileLog string
+		if *cacheDir != "" {
+			if cache == nil {
+				fatal(fmt.Errorf("-cache-dir needs -cache-size > 0: the disk tier spills through the solve cache"))
+			}
+			if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+				fatal(err)
+			}
+			store, loaded, err := persist.OpenEquilibriumStore(filepath.Join(*cacheDir, "equilibria.log"))
+			if err != nil {
+				fatal(err)
+			}
+			defer store.Close()
+			cache.Warm(loaded)
+			cache.SetStore(store)
+			profileLog = filepath.Join(*cacheDir, "profiles.log")
+			fmt.Printf("warm start: %d equilibria loaded from %s (%d records skipped)\n",
+				len(loaded), store.Path(), store.Skipped())
+		}
 		if *shards > 0 {
 			proto := coord.Proto(*shardProto)
 			if !proto.Valid() {
@@ -116,6 +139,7 @@ func main() {
 					Metrics:     metrics,
 					Tracer:      tracer,
 					Cache:       cache,
+					L1Size:      *l1Size,
 				})
 				if err != nil {
 					fatal(err)
@@ -128,6 +152,7 @@ func main() {
 				Shards:      addrs,
 				ShardProto:  proto,
 				ConnTimeout: *connTimeout,
+				ProfileLog:  profileLog,
 				Metrics:     metrics,
 				Tracer:      tracer,
 			})
@@ -152,6 +177,7 @@ func main() {
 			Metrics:     metrics,
 			Tracer:      tracer,
 			Cache:       cache,
+			L1Size:      *l1Size,
 		})
 		if err != nil {
 			fatal(err)

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"sprintgame/internal/core"
+	"sprintgame/internal/sim"
+)
+
+// PresolveStats reports what a presolve pass found and did.
+type PresolveStats struct {
+	// Racks is the number of racks examined.
+	Racks int
+	// Distinct is the number of distinct game instances across racks
+	// (racks sharing a workload mix and game parameters share one).
+	Distinct int
+	// Cached is how many distinct instances the cache already held —
+	// from an earlier run or a disk-tier warm load.
+	Cached int
+	// Solved is how many instances the batched pass solved and admitted.
+	Solved int
+	// Skipped counts racks whose classes could not be built plus lanes
+	// whose solve failed. Skipped instances are not admitted; the same
+	// failure resurfaces with rack context when Run builds the policy.
+	Skipped int
+}
+
+// PresolveEquilibria solves every distinct game instance a cluster run
+// will need, in one batched pass, and admits the solutions into cache.
+//
+// EquilibriumFactory solves lazily from worker goroutines: the first
+// rack to need an instance solves it alone while racks behind it
+// coalesce or block. Presolving instead collects the distinct
+// instances up front — racks sharing a workload mix and game
+// parameters dedupe by core.SolveKey — and drives them through
+// core.SolveBatch's structure-of-arrays lanes, so a heterogeneous
+// cluster pays one cache-aware solve pass instead of R serial solves.
+// Instances the cache already holds (including ones warm-loaded from
+// the disk tier) are skipped.
+//
+// Admitted solutions are byte-identical to what FindEquilibrium would
+// produce (SolveBatch's contract), so a presolved Run returns exactly
+// the result of an unpresolved one — verified by
+// TestPresolveMatchesLazySolves.
+//
+// A nil cache makes the pass pointless, so it is skipped entirely.
+func PresolveEquilibria(cfg Config, cache *core.SolveCache) PresolveStats {
+	st := PresolveStats{Racks: len(cfg.Racks)}
+	if cache == nil {
+		return st
+	}
+	seen := make(map[uint64]struct{}, len(cfg.Racks))
+	var keys []uint64
+	var reqs []core.SolveRequest
+	for i := range cfg.Racks {
+		simCfg := cfg.RackSimConfig(i)
+		classes, err := sim.GameClasses(simCfg)
+		if err != nil {
+			st.Skipped++
+			continue
+		}
+		key := core.SolveKey(classes, simCfg.Game)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		st.Distinct++
+		if cache.Contains(key) {
+			st.Cached++
+			continue
+		}
+		keys = append(keys, key)
+		reqs = append(reqs, core.SolveRequest{Classes: classes, Cfg: simCfg.Game})
+	}
+	if len(reqs) == 0 {
+		return st
+	}
+	results := core.SolveBatch(reqs)
+	entries := make(map[uint64]*core.Equilibrium, len(reqs))
+	for i, r := range results {
+		if r.Err != nil {
+			st.Skipped++
+			continue
+		}
+		entries[keys[i]] = r.Eq
+		st.Solved++
+	}
+	cache.Admit(entries)
+	if m := cfg.Metrics; m != nil {
+		m.Counter("cluster.presolves").Inc()
+		m.Counter("cluster.presolve_solved").Add(int64(st.Solved))
+		m.Counter("cluster.presolve_cached").Add(int64(st.Cached))
+	}
+	return st
+}

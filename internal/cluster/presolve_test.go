@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"sprintgame/internal/core"
+)
+
+// TestPresolveMatchesLazySolves is the differential test for the
+// batched presolve path: a run whose cache was filled by
+// PresolveEquilibria (through core.SolveBatch) must be byte-identical
+// to a run that solved lazily per rack (through core.FindEquilibrium),
+// and the presolved run must never miss.
+func TestPresolveMatchesLazySolves(t *testing.T) {
+	// Two benchmarks rotated over four racks: racks 0/2 and 1/3 share a
+	// game instance, so the presolve must dedupe 4 racks to 2 solves.
+	base := testCluster(t, 4, 8, 50, "decision", "pagerank")
+	base.Workers = 2
+
+	lazyCache := core.NewSolveCache(0, nil)
+	lazy := base
+	lazy.Policy = EquilibriumFactory(lazyCache)
+	lazyRes, err := Run(lazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	preCache := core.NewSolveCache(0, nil)
+	st := PresolveEquilibria(base, preCache)
+	want := PresolveStats{Racks: 4, Distinct: 2, Solved: 2}
+	if st != want {
+		t.Fatalf("presolve stats = %+v, want %+v", st, want)
+	}
+	pre := base
+	pre.Policy = EquilibriumFactory(preCache)
+	preRes, err := Run(pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(lazyRes, preRes) {
+		t.Fatal("presolved run differs from lazily solved run")
+	}
+	cs := preCache.Stats()
+	if cs.Misses != 0 || cs.Coalesced != 0 {
+		t.Fatalf("presolved run still solved: %+v", cs)
+	}
+	if cs.Hits < int64(len(base.Racks)) {
+		t.Fatalf("hits = %d, want >= %d (one per rack)", cs.Hits, len(base.Racks))
+	}
+}
+
+func TestPresolveSecondPassFullyCached(t *testing.T) {
+	cfg := testCluster(t, 3, 8, 10, "decision")
+	cache := core.NewSolveCache(0, nil)
+
+	first := PresolveEquilibria(cfg, cache)
+	if first.Solved != first.Distinct || first.Distinct == 0 {
+		t.Fatalf("first pass = %+v, want every distinct instance solved", first)
+	}
+	second := PresolveEquilibria(cfg, cache)
+	if second.Cached != first.Distinct || second.Solved != 0 {
+		t.Fatalf("second pass = %+v, want all %d instances cached", second, first.Distinct)
+	}
+}
+
+func TestPresolveNilCache(t *testing.T) {
+	cfg := testCluster(t, 2, 8, 10, "decision")
+	st := PresolveEquilibria(cfg, nil)
+	if st != (PresolveStats{Racks: 2}) {
+		t.Fatalf("nil-cache presolve = %+v, want racks only", st)
+	}
+}

@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"math"
+	"runtime"
+
+	"sprintgame/internal/telemetry"
+)
+
+// autoWorkersMaxSkew caps the oversubscription multiplier AutoWorkers
+// derives from rack heterogeneity: beyond 4x, extra goroutines only add
+// scheduling overhead.
+const autoWorkersMaxSkew = 4
+
+// AutoWorkers sizes a cluster worker pool from history: the
+// cluster.rack_task_rate histogram that emitMetrics populates on every
+// run against the same registry.
+//
+// Rack wall-clock tracks rack task rate — a sprint-heavy rack simulates
+// more state transitions per epoch than a throttled one — so the
+// cross-rack spread of task rates predicts how imbalanced the next
+// run's rack durations will be. A homogeneous cluster (p95 ~= p50) is
+// purely CPU-bound: one worker per CPU, no benefit beyond. A skewed
+// cluster wants oversubscription, so short racks drain around the long
+// ones instead of a tail rack serializing the pool; the pool grows by
+// the observed p95/p50 ratio, capped at autoWorkersMaxSkew.
+//
+// With no registry or no observations yet there is nothing to learn
+// from, and the result is runtime.NumCPU() — exactly what
+// Config.Workers <= 0 selects. The result is always clamped to
+// [1, racks]; Run clamps to the rack count again anyway, but callers
+// log the returned value.
+func AutoWorkers(metrics *telemetry.Registry, racks int) int {
+	var h *telemetry.Histogram
+	if metrics != nil {
+		h = metrics.Histogram("cluster.rack_task_rate", rackRateBuckets)
+	}
+	return autoWorkersFrom(h, racks, runtime.NumCPU())
+}
+
+// autoWorkersFrom is AutoWorkers with the CPU count injected, so tests
+// pin it regardless of the host.
+func autoWorkersFrom(h *telemetry.Histogram, racks, cpus int) int {
+	if cpus < 1 {
+		cpus = 1
+	}
+	workers := cpus
+	if h.Count() > 0 {
+		qs := h.Quantiles(0.50, 0.95)
+		skew := 1.0
+		if qs[0] > 0 {
+			skew = qs[1] / qs[0]
+		}
+		skew = math.Min(math.Max(skew, 1), autoWorkersMaxSkew)
+		workers = int(math.Ceil(float64(cpus) * skew))
+	}
+	if racks > 0 && workers > racks {
+		workers = racks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}

@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"testing"
+
+	"sprintgame/internal/telemetry"
+)
+
+// rateHist builds a rack_task_rate histogram holding the given
+// observations.
+func rateHist(obs ...float64) *telemetry.Histogram {
+	h := telemetry.NewRegistry().Histogram("cluster.rack_task_rate", rackRateBuckets)
+	for _, v := range obs {
+		h.Observe(v)
+	}
+	return h
+}
+
+func TestAutoWorkersNoHistory(t *testing.T) {
+	// Nothing observed yet (or no registry at all): fall back to the
+	// CPU count, clamped to the rack count.
+	if got := autoWorkersFrom(nil, 16, 4); got != 4 {
+		t.Fatalf("nil histogram: workers = %d, want 4", got)
+	}
+	if got := autoWorkersFrom(rateHist(), 16, 4); got != 4 {
+		t.Fatalf("empty histogram: workers = %d, want 4", got)
+	}
+	if got := autoWorkersFrom(nil, 3, 8); got != 3 {
+		t.Fatalf("rack clamp: workers = %d, want 3", got)
+	}
+	if got := autoWorkersFrom(nil, 16, 0); got != 1 {
+		t.Fatalf("cpus floor: workers = %d, want 1", got)
+	}
+}
+
+func TestAutoWorkersHomogeneousCluster(t *testing.T) {
+	// Every rack ran at the same rate: p95/p50 = 1, the run is purely
+	// CPU-bound, and oversubscribing would only add scheduling churn.
+	obs := make([]float64, 32)
+	for i := range obs {
+		obs[i] = 1.5
+	}
+	if got := autoWorkersFrom(rateHist(obs...), 64, 4); got != 4 {
+		t.Fatalf("homogeneous: workers = %d, want 4", got)
+	}
+}
+
+func TestAutoWorkersSkewedCluster(t *testing.T) {
+	// 90 slow racks at rate 1.0, 10 sprint-heavy racks at 5.5: the
+	// p95/p50 skew exceeds the cap, so the pool oversubscribes by
+	// autoWorkersMaxSkew.
+	obs := make([]float64, 0, 100)
+	for i := 0; i < 90; i++ {
+		obs = append(obs, 1.0)
+	}
+	for i := 0; i < 10; i++ {
+		obs = append(obs, 5.5)
+	}
+	h := rateHist(obs...)
+	if got := autoWorkersFrom(h, 100, 2); got != 2*autoWorkersMaxSkew {
+		t.Fatalf("skewed: workers = %d, want %d", got, 2*autoWorkersMaxSkew)
+	}
+	// The rack count still clamps the oversubscribed pool.
+	if got := autoWorkersFrom(h, 5, 2); got != 5 {
+		t.Fatalf("skewed+clamp: workers = %d, want 5", got)
+	}
+}

@@ -79,6 +79,11 @@ type ServeOptions struct {
 	// hit/miss counters land in Metrics when the cache was built with
 	// the same registry.
 	Cache *core.SolveCache
+	// L1Size, when positive, puts a server-local L1 of that capacity in
+	// front of Cache (Coordinator.UseL1): repeat solves answer from a
+	// lock-cheap per-shard map instead of contending on the shared
+	// cache. Zero disables the L1.
+	L1Size int
 }
 
 // normalizeTimeout maps the shared zero/negative timeout convention:
@@ -115,6 +120,9 @@ func ServeWith(coord *Coordinator, opts ServeOptions) (*Server, error) {
 	timeout := normalizeTimeout(opts.ConnTimeout, DefaultConnTimeout)
 	if opts.Cache != nil {
 		coord.UseCache(opts.Cache)
+	}
+	if opts.L1Size > 0 {
+		coord.UseL1(core.NewL1Cache(opts.L1Size, opts.Cache))
 	}
 	s := &Server{coord: coord, timeout: timeout}
 	ep := &endpoint{

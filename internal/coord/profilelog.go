@@ -1,0 +1,74 @@
+package coord
+
+import (
+	"fmt"
+
+	"sprintgame/internal/persist"
+)
+
+// The router's profile replica is its whole value during recovery: a
+// shard that went down is replayed the full profile state before it
+// serves again. Journaling the replica through a persist.Log extends
+// that guarantee across router restarts — a restarted router reloads
+// the replica from disk and replays shards from it, instead of waiting
+// for every agent to re-submit. Records reuse the disk log's framing
+// (checksummed, corrupt-tolerant) and the wire protocol's float
+// packing, so reloaded profiles are bit-identical to what was
+// submitted.
+
+const (
+	// recordKindProfile tags profile records in the shared log format.
+	recordKindProfile = 'P'
+	// profileCodecVersion versions the payload layout; unknown versions
+	// are skipped on reload, never misdecoded.
+	profileCodecVersion = 1
+)
+
+// appendProfileRecord encodes one record payload:
+//
+//	'P' | codec version | str agent | str class |
+//	floatcol values | floatcol weights
+func appendProfileRecord(b []byte, p Profile) []byte {
+	b = append(b, recordKindProfile, profileCodecVersion)
+	b = persist.AppendString(b, p.Agent)
+	b = persist.AppendString(b, p.Class)
+	b = persist.AppendFloatColumn(b, p.Values)
+	b = persist.AppendFloatColumn(b, p.Weights)
+	return b
+}
+
+// decodeProfileRecord is the inverse of appendProfileRecord.
+func decodeProfileRecord(payload []byte) (Profile, error) {
+	d := persist.NewDec(payload)
+	var p Profile
+	kind, err := d.Byte()
+	if err != nil {
+		return p, err
+	}
+	if kind != recordKindProfile {
+		return p, fmt.Errorf("coord: record kind %q is not a profile", kind)
+	}
+	ver, err := d.Byte()
+	if err != nil {
+		return p, err
+	}
+	if ver != profileCodecVersion {
+		return p, fmt.Errorf("coord: profile codec version %d unsupported", ver)
+	}
+	if p.Agent, err = d.String(); err != nil {
+		return p, err
+	}
+	if p.Class, err = d.String(); err != nil {
+		return p, err
+	}
+	if p.Values, err = d.FloatColumn(); err != nil {
+		return p, err
+	}
+	if p.Weights, err = d.FloatColumn(); err != nil {
+		return p, err
+	}
+	if d.Remaining() != 0 {
+		return p, fmt.Errorf("coord: %d trailing bytes in profile record", d.Remaining())
+	}
+	return p, nil
+}

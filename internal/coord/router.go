@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"sprintgame/internal/persist"
 	"sprintgame/internal/telemetry"
 )
 
@@ -67,6 +68,15 @@ type RouterOptions struct {
 	// RequestTimeout bounds each router→shard round trip (see
 	// ClientOptions.RequestTimeout).
 	RequestTimeout time.Duration
+	// ProfileLog, when non-empty, is the path of a persist.Log the
+	// router journals its profile replica through. On start the journal
+	// is replayed (corrupt or torn records dropped, newest submit per
+	// agent winning) and every shard is marked for replay, so a
+	// restarted router pushes the reloaded replica to its shards from
+	// disk instead of waiting for agents to re-submit. Each accepted
+	// submit appends one record; journal write failures are counted
+	// (router.persist_errors), never surfaced to the submitting agent.
+	ProfileLog string
 	// Metrics, when non-nil, receives router metrics (router.requests,
 	// router.shard_errors, router.rehashes, router.replays, ...).
 	Metrics *telemetry.Registry
@@ -154,6 +164,10 @@ type Router struct {
 	profiles  map[string]Profile
 	agentHash map[string]uint64
 	fp        uint64 // XOR of per-agent profile hashes
+
+	// plog, when non-nil, journals the replica to disk (see
+	// RouterOptions.ProfileLog). Appends happen under submitMu.
+	plog *persist.Log
 }
 
 // NewRouter starts a router over the given shards.
@@ -197,6 +211,34 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 		}
 	}
 	sort.Slice(r.ring, func(i, j int) bool { return r.ring[i].hash < r.ring[j].hash })
+	if opts.ProfileLog != "" {
+		plog, records, err := persist.OpenLog(opts.ProfileLog)
+		if err != nil {
+			for _, sh := range r.shards {
+				_ = sh.client.Close()
+			}
+			return nil, fmt.Errorf("coord: opening profile log: %w", err)
+		}
+		r.plog = plog
+		loaded := 0
+		for _, rec := range records {
+			p, err := decodeProfileRecord(rec)
+			if err != nil || p.Validate() != nil {
+				continue // foreign kind, newer codec, or stale garbage
+			}
+			r.applyProfile(p)
+			loaded++
+		}
+		if loaded > 0 {
+			// The reloaded replica is authoritative; shards start cold, so
+			// each one is replayed the full state before its first answer.
+			for _, sh := range r.shards {
+				sh.mu.Lock()
+				sh.needsReplay = true
+				sh.mu.Unlock()
+			}
+		}
+	}
 	ep := &endpoint{
 		prefix:   "router",
 		timeout:  normalizeTimeout(opts.ConnTimeout, DefaultConnTimeout),
@@ -218,13 +260,41 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 // Addr returns the router's front-side listen address.
 func (r *Router) Addr() string { return r.a.addr() }
 
-// Close stops the router and releases shard connections.
+// Close stops the router, releases shard connections, and closes the
+// profile journal (syncing it to disk).
 func (r *Router) Close() error {
 	err := r.a.close()
 	for _, sh := range r.shards {
 		_ = sh.client.Close()
 	}
+	if r.plog != nil {
+		if cerr := r.plog.Close(); err == nil {
+			err = cerr
+		}
+	}
 	return err
+}
+
+// ReplicaSize returns the number of agent profiles in the router's
+// replica (including any reloaded from the profile journal).
+func (r *Router) ReplicaSize() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.profiles)
+}
+
+// applyProfile folds one profile into the replica and its routing
+// fingerprint.
+func (r *Router) applyProfile(p Profile) {
+	h := profileHash(p)
+	r.mu.Lock()
+	if old, ok := r.agentHash[p.Agent]; ok {
+		r.fp ^= old
+	}
+	r.fp ^= h
+	r.agentHash[p.Agent] = h
+	r.profiles[p.Agent] = p
+	r.mu.Unlock()
 }
 
 // ringHash places one virtual node on the ring.
@@ -323,15 +393,14 @@ func (r *Router) routeSubmit(req request, span *telemetry.Span) response {
 	defer r.submitMu.Unlock()
 
 	p := *req.Profile
-	h := profileHash(p)
-	r.mu.Lock()
-	if old, ok := r.agentHash[p.Agent]; ok {
-		r.fp ^= old
+	r.applyProfile(p)
+	if r.plog != nil {
+		// Journal after the in-memory replica: a failed append costs
+		// durability across the next restart, never the live submit.
+		if err := r.plog.Append(appendProfileRecord(nil, p)); err != nil {
+			r.metrics.Counter("router.persist_errors").Inc()
+		}
 	}
-	r.fp ^= h
-	r.agentHash[p.Agent] = h
-	r.profiles[p.Agent] = p
-	r.mu.Unlock()
 
 	now := time.Now()
 	accepted := 0

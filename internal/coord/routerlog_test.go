@@ -1,0 +1,119 @@
+package coord
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"sprintgame/internal/core"
+)
+
+// TestRouterRestartReplaysFromJournal pins the router's warm-restart
+// contract: a router journaling through RouterOptions.ProfileLog is
+// killed and restarted over brand-new, empty shards, and the first
+// strategies request is answered from the reloaded replica alone — no
+// agent re-submitted anything.
+func TestRouterRestartReplaysFromJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "profiles.log")
+	profiles := testProfiles(t)
+
+	_, addrs := startShards(t, 2, core.NewSolveCache(32, nil))
+	router, err := NewRouter(RouterOptions{
+		Addr: "127.0.0.1:0", Shards: addrs, ProfileLog: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(router.Addr())
+	for _, p := range profiles {
+		if err := client.SubmitProfile(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, wantPtrip, err := client.FetchStrategies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = client.Close()
+	if err := router.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart against fresh shards that have never seen a profile: the
+	// journal is the only surviving copy of the replica.
+	_, addrs2 := startShards(t, 2, core.NewSolveCache(32, nil))
+	router2, err := NewRouter(RouterOptions{
+		Addr: "127.0.0.1:0", Shards: addrs2, ProfileLog: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router2.Close()
+	if n := router2.ReplicaSize(); n != len(profiles) {
+		t.Fatalf("reloaded replica holds %d profiles, want %d", n, len(profiles))
+	}
+
+	client2 := NewClient(router2.Addr())
+	defer client2.Close()
+	got, gotPtrip, err := client2.FetchStrategies()
+	if err != nil {
+		t.Fatalf("strategies after restart: %v", err)
+	}
+	if gotPtrip != wantPtrip {
+		t.Errorf("ptrip after restart = %v, want %v", gotPtrip, wantPtrip)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("strategies after restart differ:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestRouterJournalCorruptTailTolerated garbles the journal's tail and
+// restarts: the surviving prefix replays, the router still serves.
+func TestRouterJournalCorruptTailTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "profiles.log")
+	profiles := testProfiles(t)
+
+	_, addrs := startShards(t, 1, core.NewSolveCache(32, nil))
+	router, err := NewRouter(RouterOptions{
+		Addr: "127.0.0.1:0", Shards: addrs, ProfileLog: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(router.Addr())
+	for _, p := range profiles {
+		if err := client.SubmitProfile(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = client.Close()
+	if err := router.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the final record: drop the file's last 3 bytes.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	router2, err := NewRouter(RouterOptions{
+		Addr: "127.0.0.1:0", Shards: addrs, ProfileLog: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router2.Close()
+	if n := router2.ReplicaSize(); n != len(profiles)-1 {
+		t.Fatalf("replica after torn tail holds %d profiles, want %d", n, len(profiles)-1)
+	}
+	client2 := NewClient(router2.Addr())
+	defer client2.Close()
+	if _, _, err := client2.FetchStrategies(); err != nil {
+		t.Fatalf("strategies after torn-tail restart: %v", err)
+	}
+}

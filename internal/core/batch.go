@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"sprintgame/internal/dist"
 	"sprintgame/internal/telemetry"
@@ -169,14 +168,32 @@ func (b *bellmanLanes) solveGroup(lanes []int) {
 			if b.scan[i] {
 				newVA = sweepScan(xs, ps, sprintCont, vNoSprint)
 			} else {
-				k := sort.SearchFloat64s(xs, vNoSprint-sprintCont)
+				// Inlined sort.SearchFloat64s: the closure-based probe is a
+				// per-sweep function call the lane loop cannot afford.
+				target := vNoSprint - sprintCont
+				lo, hi := 0, n
+				for lo < hi {
+					mid := int(uint(lo+hi) >> 1)
+					if xs[mid] < target {
+						lo = mid + 1
+					} else {
+						hi = mid
+					}
+				}
+				k := lo
 				newVA = cumP[k]*vNoSprint + (cumPX[n] - cumPX[k]) + (cumP[n]-cumP[k])*sprintCont
 			}
 			// Eqs. (5) and (6).
 			newVC := d*(vC*pcs[i]+vA*(1-pcs[i]))*(1-ptrip) + d*vR*ptrip
 			newVR := d * (vR*prs[i] + vA*(1-prs[i]))
-			diff := math.Max(math.Abs(newVA-vA),
-				math.Max(math.Abs(newVC-vC), math.Abs(newVR-vR)))
+			// Branchy max, matching solveBellman (math.Max is a call).
+			diff := math.Abs(newVA - vA)
+			if d2 := math.Abs(newVC - vC); d2 > diff {
+				diff = d2
+			}
+			if d2 := math.Abs(newVR - vR); d2 > diff {
+				diff = d2
+			}
 			vAs[i], vCs[i], vRs[i] = newVA, newVC, newVR
 			iters[i]++
 			if iters[i] >= maxIters[i] {

@@ -84,8 +84,15 @@ func solveBellman(f *dist.Discrete, ptrip float64, cfg Config, guess Values) (Va
 		// Eqs. (5) and (6).
 		newVC := d*(vC*cfg.Pc+vA*(1-cfg.Pc))*(1-ptrip) + d*vR*ptrip
 		newVR := d * (vR*cfg.Pr + vA*(1-cfg.Pr))
-		diff := math.Max(math.Abs(newVA-vA),
-			math.Max(math.Abs(newVC-vC), math.Abs(newVR-vR)))
+		// Branchy max: math.Max is not intrinsified and its call
+		// dominated sweep profiles; math.Abs is, so only Max is unrolled.
+		diff := math.Abs(newVA - vA)
+		if d2 := math.Abs(newVC - vC); d2 > diff {
+			diff = d2
+		}
+		if d2 := math.Abs(newVR - vR); d2 > diff {
+			diff = d2
+		}
 		vA, vC, vR = newVA, newVC, newVR
 		if diff < cfg.ValueTol {
 			iter++

@@ -247,6 +247,30 @@ func aitkenExtrapolate(x [3]float64) (float64, bool) {
 // slot, so the result is byte-identical to the serial path. On error the
 // lowest-indexed failure is reported, matching serial behaviour.
 func solveClasses(classes []AgentClass, ptrip float64, cfg Config, guesses []Values, out []ClassOutcome, workers int) error {
+	if workers > 1 {
+		// Work-size gate: predict this round's per-class sweep count from
+		// the previous round's (a warm-started contraction re-converges in
+		// about as many sweeps as last time; a cold guess carries
+		// Iterations == 0 and is predicted at the sweep cap). Fanning out
+		// costs roughly a goroutine spawn + semaphore round-trip per class,
+		// which only amortizes over a few hundred O(log n) sweeps — below
+		// the floor the serial loop wins regardless of core count. The
+		// gate picks a schedule, never a result: both schedules are
+		// byte-identical (pinned by the parallel differential tests).
+		predicted := 0
+		for i := range guesses {
+			s := guesses[i].Iterations
+			if s == 0 {
+				s = cfg.MaxValueIter
+			}
+			if s > predicted {
+				predicted = s
+			}
+		}
+		if predicted < parallelSweepFloor {
+			workers = 1
+		}
+	}
 	if workers <= 1 || len(classes) == 1 {
 		for i := range classes {
 			if err := solveClass(&classes[i], ptrip, cfg, &guesses[i], &out[i]); err != nil {
@@ -328,6 +352,14 @@ func finishSolve(cfg Config, eq *Equilibrium) {
 
 // solverIterBuckets spans quick solves to the MaxFixedPointIter default.
 var solverIterBuckets = telemetry.ExponentialBuckets(4, 2, 10)
+
+// parallelSweepFloor is the minimum predicted per-class sweep count at
+// which solveClasses fans out to the worker pool. Cold Bellman solves
+// run thousands of sweeps and amortize the spawn cost easily; the
+// warm-started re-solves of later Algorithm 1 iterations finish in tens
+// of sweeps, where the pool's overhead exceeds the work being split
+// (the classes=8 parallel regression in BENCH_core.json).
+const parallelSweepFloor = 256
 
 // SingleClass is a convenience wrapper: all cfg.N agents run the same
 // application.

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sprintgame/internal/telemetry"
+)
+
+// L1Cache is a small per-shard tier in front of a shared SolveCache.
+// The shared L2 serializes every lookup through one mutex and its
+// singleflight map — correct, but a point of contention when several
+// shard servers hammer the same few equilibria. The L1 answers repeat
+// hits with an RLock over a direct map and atomic counters: no LRU
+// bookkeeping, no singleflight, no write on the hit path. Misses fall
+// through to the shared cache (which still coalesces concurrent solves
+// across shards) and the result is published back under a short write
+// lock.
+//
+// Entries are evicted FIFO through a fixed ring, so a capacity-c L1
+// holds the last c distinct instances this shard saw. The L1 stores the
+// same shared *Equilibrium pointers as the L2 — hits are byte-identical
+// whichever tier answers, and values remain immutable.
+//
+// A nil *L1Cache is not valid; callers that want no L1 keep using the
+// shared cache directly.
+type L1Cache struct {
+	shared   *SolveCache
+	capacity int
+
+	hits, misses atomic.Int64
+
+	mu   sync.RWMutex
+	m    map[uint64]*Equilibrium
+	ring []uint64 // insertion order; ring[next] is evicted on overflow
+	next int
+	size int
+}
+
+// DefaultL1Capacity bounds the L1 when NewL1Cache is given a
+// non-positive capacity. Shards see a few hot instances between profile
+// changes, so the default is small by design.
+const DefaultL1Capacity = 16
+
+// NewL1Cache returns an L1 of the given capacity in front of shared.
+// shared may be nil (the L1 then fronts the plain solver — every miss
+// solves), which keeps single-process setups flag-compatible.
+func NewL1Cache(capacity int, shared *SolveCache) *L1Cache {
+	if capacity <= 0 {
+		capacity = DefaultL1Capacity
+	}
+	return &L1Cache{
+		shared:   shared,
+		capacity: capacity,
+		m:        make(map[uint64]*Equilibrium, capacity),
+		ring:     make([]uint64, capacity),
+	}
+}
+
+// L1Stats is a point-in-time view of an L1's counters.
+type L1Stats struct {
+	Hits     int64
+	Misses   int64 // fell through to the shared tier (or solved)
+	Size     int
+	Capacity int
+}
+
+// HitRate returns the fraction of lookups answered by this tier, or 0
+// before any lookup.
+func (s L1Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats returns the L1's counters.
+func (l *L1Cache) Stats() L1Stats {
+	l.mu.RLock()
+	size := l.size
+	l.mu.RUnlock()
+	return L1Stats{
+		Hits:     l.hits.Load(),
+		Misses:   l.misses.Load(),
+		Size:     size,
+		Capacity: l.capacity,
+	}
+}
+
+// Shared returns the L2 behind this L1 (nil when fronting the solver).
+func (l *L1Cache) Shared() *SolveCache { return l.shared }
+
+// FindEquilibrium returns the memoized equilibrium for (classes, cfg),
+// answering from this tier when possible. The returned equilibrium is
+// shared — callers must not mutate it.
+func (l *L1Cache) FindEquilibrium(classes []AgentClass, cfg Config) (*Equilibrium, error) {
+	return l.FindEquilibriumSpanned(classes, cfg, nil)
+}
+
+// FindEquilibriumSpanned is FindEquilibrium with span tracing under the
+// given parent (nil disables it). An L1 hit emits a cache.lookup span
+// with outcome "l1_hit"; a fall-through emits whatever the shared tier
+// emits for the same key.
+func (l *L1Cache) FindEquilibriumSpanned(classes []AgentClass, cfg Config, parent *telemetry.Span) (*Equilibrium, error) {
+	key := SolveKey(classes, cfg)
+	l.mu.RLock()
+	eq, ok := l.m[key]
+	l.mu.RUnlock()
+	if ok {
+		l.hits.Add(1)
+		if parent != nil {
+			parent.Child("cache.lookup").EndWith(telemetry.Fields{"outcome": "l1_hit"})
+		}
+		return eq, nil
+	}
+	l.misses.Add(1)
+	var err error
+	if l.shared != nil {
+		eq, err = l.shared.findKeyed(key, classes, cfg, parent)
+	} else {
+		solve := parent.Child("core.solve")
+		cfg.Span = solve
+		eq, err = FindEquilibrium(classes, cfg)
+		if solve != nil {
+			solve.EndWith(solveFields(eq, err))
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	l.insert(key, eq)
+	return eq, nil
+}
+
+// Warm publishes replayed equilibria into this tier (in sorted key
+// order, mirroring SolveCache.Warm) and returns the resulting size.
+func (l *L1Cache) Warm(entries map[uint64]*Equilibrium) int {
+	keys := sortedKeys(entries)
+	for _, k := range keys {
+		if eq := entries[k]; eq != nil {
+			l.insert(k, eq)
+		}
+	}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.size
+}
+
+// insert publishes one solved instance, evicting the oldest entry once
+// the ring wraps. Duplicate keys (two goroutines racing the same miss)
+// replace in place without consuming a ring slot.
+func (l *L1Cache) insert(key uint64, eq *Equilibrium) {
+	l.mu.Lock()
+	if _, ok := l.m[key]; ok {
+		l.m[key] = eq
+		l.mu.Unlock()
+		return
+	}
+	if l.size == l.capacity {
+		delete(l.m, l.ring[l.next])
+	} else {
+		l.size++
+	}
+	l.ring[l.next] = key
+	l.next = (l.next + 1) % l.capacity
+	l.m[key] = eq
+	l.mu.Unlock()
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestL1HitAfterSharedMiss(t *testing.T) {
+	shared := NewSolveCache(0, nil)
+	l1 := NewL1Cache(4, shared)
+	classes, cfg := cacheInstance(t, 0, 40)
+
+	first, err := l1.FindEquilibrium(classes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := l1.FindEquilibrium(classes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatal("L1 hit returned a different pointer than the solve")
+	}
+	st := l1.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Fatalf("l1 stats = %+v, want 1 hit / 1 miss / size 1", st)
+	}
+	// The repeat lookup never reached the shared tier.
+	if ss := shared.Stats(); ss.Hits != 0 || ss.Misses != 1 {
+		t.Fatalf("shared stats = %+v, want 0 hits / 1 miss", ss)
+	}
+	if l1.Shared() != shared {
+		t.Fatal("Shared() lost the L2")
+	}
+}
+
+func TestL1WithoutSharedTier(t *testing.T) {
+	l1 := NewL1Cache(2, nil)
+	classes, cfg := cacheInstance(t, 0, 40)
+	first, err := l1.FindEquilibrium(classes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := l1.FindEquilibrium(classes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatal("solver-fronting L1 did not memoize")
+	}
+	if st := l1.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+func TestL1FIFOEviction(t *testing.T) {
+	shared := NewSolveCache(0, nil)
+	l1 := NewL1Cache(2, shared)
+	// Three distinct instances through a capacity-2 L1: the first is
+	// evicted, the newer two stay resident.
+	for i := 0; i < 3; i++ {
+		classes, cfg := cacheInstance(t, float64(i), 40)
+		if _, err := l1.FindEquilibrium(classes, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := l1.Stats(); st.Size != 2 {
+		t.Fatalf("size = %d, want capacity 2", st.Size)
+	}
+	// Instance 0 misses in the L1 but hits the shared tier.
+	classes, cfg := cacheInstance(t, 0, 40)
+	if _, err := l1.FindEquilibrium(classes, cfg); err != nil {
+		t.Fatal(err)
+	}
+	st := l1.Stats()
+	ss := shared.Stats()
+	if st.Misses != 4 || ss.Hits != 1 {
+		t.Fatalf("l1 = %+v shared = %+v, want evicted entry re-served by L2", st, ss)
+	}
+	// Instance 2 is still resident.
+	classes, cfg = cacheInstance(t, 2, 40)
+	if _, err := l1.FindEquilibrium(classes, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := l1.Stats().Hits; got != 1 {
+		t.Fatalf("hits = %d, want newest entry resident", got)
+	}
+}
+
+func TestL1Warm(t *testing.T) {
+	classes, cfg := cacheInstance(t, 0, 40)
+	eq, err := FindEquilibrium(classes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1 := NewL1Cache(4, nil)
+	if n := l1.Warm(map[uint64]*Equilibrium{SolveKey(classes, cfg): eq}); n != 1 {
+		t.Fatalf("warm size = %d, want 1", n)
+	}
+	got, err := l1.FindEquilibrium(classes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != eq {
+		t.Fatal("warm entry not served")
+	}
+	if st := l1.Stats(); st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("stats = %+v, want a pure hit", st)
+	}
+}
+
+func TestL1ConcurrentLookups(t *testing.T) {
+	shared := NewSolveCache(0, nil)
+	l1 := NewL1Cache(4, shared)
+	classes, cfg := cacheInstance(t, 0, 40)
+	want, err := l1.FindEquilibrium(classes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := l1.FindEquilibrium(classes, cfg)
+			if err != nil || got != want {
+				t.Errorf("concurrent lookup = %v, %v", got, err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkL1Lookup prices a hit through the L1 tier against hitting
+// the shared cache directly (the L1-off configuration). Both legs pay
+// the SolveKey hash, which dominates single-threaded cost; the numbers
+// pin that fronting an L1 adds nothing to the uncontended path, while
+// its read lock (vs the shared tier's full mutex + LRU motion) is what
+// relieves cross-shard contention.
+func BenchmarkL1Lookup(b *testing.B) {
+	classes, cfg := cacheInstance(b, 0, 250)
+	shared := NewSolveCache(8, nil)
+	if _, err := shared.FindEquilibrium(classes, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("shared", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := shared.FindEquilibrium(classes, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("l1", func(b *testing.B) {
+		l1 := NewL1Cache(8, shared)
+		if _, err := l1.FindEquilibrium(classes, cfg); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := l1.FindEquilibrium(classes, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// recordingStore captures spills for assertions; failErr, when set,
+// makes every Put fail.
+type recordingStore struct {
+	mu      sync.Mutex
+	puts    map[uint64]*Equilibrium
+	failErr error
+}
+
+func (r *recordingStore) Put(key uint64, eq *Equilibrium) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.failErr != nil {
+		return r.failErr
+	}
+	if r.puts == nil {
+		r.puts = make(map[uint64]*Equilibrium)
+	}
+	r.puts[key] = eq
+	return nil
+}
+
+func TestSolveCacheSpillsThroughStore(t *testing.T) {
+	store := &recordingStore{}
+	c := NewSolveCache(0, nil)
+	c.SetStore(store)
+	classes, cfg := cacheInstance(t, 0, 40)
+	eq, err := c.FindEquilibrium(classes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := SolveKey(classes, cfg)
+	if store.puts[key] != eq {
+		t.Fatal("miss did not write through to the store")
+	}
+	st := c.Stats()
+	if st.Spills != 1 || st.SpillErrors != 0 {
+		t.Fatalf("stats = %+v, want 1 spill", st)
+	}
+	// A hit never re-spills.
+	if _, err := c.FindEquilibrium(classes, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Spills != 1 {
+		t.Fatalf("hit re-spilled: %+v", st)
+	}
+}
+
+func TestSolveCacheSpillFailureIsNotFatal(t *testing.T) {
+	store := &recordingStore{failErr: errors.New("disk full")}
+	c := NewSolveCache(0, nil)
+	c.SetStore(store)
+	classes, cfg := cacheInstance(t, 0, 40)
+	eq, err := c.FindEquilibrium(classes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.SpillErrors != 1 || st.Spills != 0 {
+		t.Fatalf("stats = %+v, want 1 spill error", st)
+	}
+	// The entry is still cached in memory.
+	again, err := c.FindEquilibrium(classes, cfg)
+	if err != nil || again != eq {
+		t.Fatalf("entry lost after failed spill: %v, %v", again, err)
+	}
+}
+
+func TestSolveCacheContainsAndAdmit(t *testing.T) {
+	store := &recordingStore{}
+	c := NewSolveCache(0, nil)
+	c.SetStore(store)
+	classes, cfg := cacheInstance(t, 0, 40)
+	key := SolveKey(classes, cfg)
+	if c.Contains(key) {
+		t.Fatal("empty cache contains key")
+	}
+	eq, err := FindEquilibrium(classes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := c.Admit(map[uint64]*Equilibrium{key: eq}); n != 1 {
+		t.Fatalf("admit size = %d, want 1", n)
+	}
+	if !c.Contains(key) {
+		t.Fatal("admitted key not contained")
+	}
+	// Admit, unlike Warm, writes through to the disk tier.
+	if store.puts[key] != eq {
+		t.Fatal("admit did not spill")
+	}
+	got, err := c.FindEquilibrium(classes, cfg)
+	if err != nil || got != eq {
+		t.Fatalf("admitted entry not served: %v, %v", got, err)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 0 || st.Spills != 1 {
+		t.Fatalf("stats = %+v, want served from cache with one spill", st)
+	}
+
+	// Warm stays spill-free: disk-loaded entries must not be rewritten.
+	c2 := NewSolveCache(0, nil)
+	store2 := &recordingStore{}
+	c2.SetStore(store2)
+	c2.Warm(map[uint64]*Equilibrium{key: eq})
+	if len(store2.puts) != 0 {
+		t.Fatal("Warm wrote back to the store")
+	}
+	if !c2.Contains(key) || c2.Len() != 1 {
+		t.Fatal("Warm did not load the entry")
+	}
+}

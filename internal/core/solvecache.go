@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"hash/fnv"
 	"math"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -45,6 +46,20 @@ type SolveCache struct {
 	batching     bool
 	pending      []pendingSolve
 	leaderActive bool
+
+	// Disk tier (SetStore): every admitted equilibrium is written
+	// through so a restarted process can Warm itself back to this
+	// cache's contents. Spills happen outside mu; a failed spill costs a
+	// miss after restart, never the solve.
+	store               EquilibriumStore
+	spills, spillErrors atomic.Int64
+}
+
+// EquilibriumStore is the disk tier the cache writes solved equilibria
+// through (see internal/persist). Implementations must be safe for
+// concurrent Put.
+type EquilibriumStore interface {
+	Put(key uint64, eq *Equilibrium) error
 }
 
 // pendingSolve is one queued miss awaiting a batched round.
@@ -92,11 +107,13 @@ func NewSolveCache(capacity int, metrics *telemetry.Registry) *SolveCache {
 
 // SolveCacheStats is a point-in-time view of the cache's counters.
 type SolveCacheStats struct {
-	Hits      int64 // lookups answered from the cache
-	Misses    int64 // lookups that ran FindEquilibrium
-	Coalesced int64 // lookups that joined an in-flight solve
-	Evictions int64 // entries dropped by the LRU bound
-	Size      int   // entries currently cached
+	Hits        int64 // lookups answered from the cache
+	Misses      int64 // lookups that ran FindEquilibrium
+	Coalesced   int64 // lookups that joined an in-flight solve
+	Evictions   int64 // entries dropped by the LRU bound
+	Spills      int64 // equilibria written through to the disk tier
+	SpillErrors int64 // disk-tier writes that failed (entry stays cached)
+	Size        int   // entries currently cached
 }
 
 // HitRate returns the fraction of lookups that avoided a solve
@@ -118,11 +135,13 @@ func (c *SolveCache) Stats() SolveCacheStats {
 	size := c.order.Len()
 	c.mu.Unlock()
 	return SolveCacheStats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Coalesced: c.coalesced.Load(),
-		Evictions: c.evictions.Load(),
-		Size:      size,
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Coalesced:   c.coalesced.Load(),
+		Evictions:   c.evictions.Load(),
+		Spills:      c.spills.Load(),
+		SpillErrors: c.spillErrors.Load(),
+		Size:        size,
 	}
 }
 
@@ -163,7 +182,13 @@ func (c *SolveCache) FindEquilibriumSpanned(classes []AgentClass, cfg Config, pa
 		}
 		return eq, err
 	}
-	key := SolveKey(classes, cfg)
+	return c.findKeyed(SolveKey(classes, cfg), classes, cfg, parent)
+}
+
+// findKeyed is FindEquilibriumSpanned after key computation; the L1
+// tier calls it directly so one SolveKey hash serves both tiers.
+// c must be non-nil.
+func (c *SolveCache) findKeyed(key uint64, classes []AgentClass, cfg Config, parent *telemetry.Span) (*Equilibrium, error) {
 	lookup := parent.Child("cache.lookup")
 
 	c.mu.Lock()
@@ -234,13 +259,31 @@ func (c *SolveCache) FindEquilibriumSpanned(classes []AgentClass, cfg Config, pa
 
 	c.mu.Lock()
 	delete(c.inflight, key)
+	var store EquilibriumStore
 	if call.err == nil {
 		c.insertLocked(key, call.eq)
+		store = c.store
 	}
 	c.metrics.Gauge("solvecache.size").Set(float64(c.order.Len()))
 	c.mu.Unlock()
 	close(call.done)
+	if store != nil {
+		c.spill(store, key, call.eq)
+	}
 	return call.eq, call.err
+}
+
+// spill writes one admitted equilibrium through to the disk tier.
+// Failures are counted, not raised: the entry stays cached in memory
+// and simply misses after the next restart.
+func (c *SolveCache) spill(store EquilibriumStore, key uint64, eq *Equilibrium) {
+	if err := store.Put(key, eq); err != nil {
+		c.spillErrors.Add(1)
+		c.metrics.Counter("solvecache.spill_errors").Inc()
+		return
+	}
+	c.spills.Add(1)
+	c.metrics.Counter("solvecache.spills").Inc()
 }
 
 // SetBatching switches the cache between per-goroutine misses (off, the
@@ -258,6 +301,110 @@ func (c *SolveCache) SetBatching(on bool) {
 	c.mu.Lock()
 	c.batching = on
 	c.mu.Unlock()
+}
+
+// SetStore attaches the disk tier: every equilibrium the cache admits
+// from here on is written through store.Put (outside the cache lock),
+// so the store accumulates exactly the solutions worth replaying after
+// a restart — including ones later evicted by the LRU bound, which
+// remain on disk. A nil cache ignores the call; a nil store detaches.
+func (c *SolveCache) SetStore(store EquilibriumStore) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.store = store
+	c.mu.Unlock()
+}
+
+// Warm preloads replayed equilibria (typically the map returned by
+// persist.OpenEquilibriumStore) without touching the hit/miss counters
+// or writing back to the store. Keys are inserted in sorted order so
+// the LRU state after a warm load is deterministic; when len(entries)
+// exceeds the capacity, the largest keys survive. Returns the number of
+// entries now cached. A nil cache ignores the call and returns 0.
+func (c *SolveCache) Warm(entries map[uint64]*Equilibrium) int {
+	if c == nil || len(entries) == 0 {
+		return c.Len()
+	}
+	keys := sortedKeys(entries)
+	c.mu.Lock()
+	for _, k := range keys {
+		if eq := entries[k]; eq != nil {
+			if el, ok := c.entries[k]; ok {
+				el.Value.(*cacheEntry).eq = eq
+				c.order.MoveToFront(el)
+				continue
+			}
+			c.insertLocked(k, eq)
+		}
+	}
+	n := c.order.Len()
+	c.mu.Unlock()
+	c.metrics.Gauge("solvecache.size").Set(float64(n))
+	return n
+}
+
+// Contains reports whether key is currently cached. It peeks without
+// touching the LRU order or the hit/miss counters, so probing (e.g. a
+// cluster presolve deciding what still needs solving) never perturbs
+// eviction state. A nil cache contains nothing.
+func (c *SolveCache) Contains(key uint64) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	_, ok := c.entries[key]
+	c.mu.Unlock()
+	return ok
+}
+
+// Admit files externally solved equilibria — e.g. a cluster presolve
+// that ran the instances through SolveBatch itself — as if each had
+// been solved by a miss: entries insert in sorted key order and, unlike
+// Warm, are written through to the disk tier when one is attached, so
+// presolved solutions survive a restart. Hit/miss counters are
+// untouched. Returns the number of entries now cached. A nil cache
+// ignores the call and returns 0.
+func (c *SolveCache) Admit(entries map[uint64]*Equilibrium) int {
+	if c == nil || len(entries) == 0 {
+		return c.Len()
+	}
+	keys := sortedKeys(entries)
+	c.mu.Lock()
+	store := c.store
+	for _, k := range keys {
+		if eq := entries[k]; eq != nil {
+			if el, ok := c.entries[k]; ok {
+				el.Value.(*cacheEntry).eq = eq
+				c.order.MoveToFront(el)
+				continue
+			}
+			c.insertLocked(k, eq)
+		}
+	}
+	n := c.order.Len()
+	c.mu.Unlock()
+	c.metrics.Gauge("solvecache.size").Set(float64(n))
+	if store != nil {
+		for _, k := range keys {
+			if eq := entries[k]; eq != nil {
+				c.spill(store, k, eq)
+			}
+		}
+	}
+	return n
+}
+
+// sortedKeys returns entries' keys in ascending order, so warm loads
+// replay in a deterministic order regardless of map iteration.
+func sortedKeys(entries map[uint64]*Equilibrium) []uint64 {
+	keys := make([]uint64, 0, len(entries))
+	for k := range entries {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
 }
 
 // takePending claims the current queue of misses.
@@ -310,17 +457,26 @@ func (c *SolveCache) solveRound(batch []pendingSolve, parent *telemetry.Span) {
 		span.EndWith(telemetry.Fields{"lanes": len(batch)})
 	}
 	c.mu.Lock()
+	var store EquilibriumStore
 	for i, p := range batch {
 		p.call.eq, p.call.err = results[i].Eq, results[i].Err
 		delete(c.inflight, p.key)
 		if p.call.err == nil {
 			c.insertLocked(p.key, p.call.eq)
+			store = c.store
 		}
 	}
 	c.metrics.Gauge("solvecache.size").Set(float64(c.order.Len()))
 	c.mu.Unlock()
 	for _, p := range batch {
 		close(p.call.done)
+	}
+	if store != nil {
+		for _, p := range batch {
+			if p.call.err == nil {
+				c.spill(store, p.key, p.call.eq)
+			}
+		}
 	}
 }
 

@@ -40,11 +40,11 @@ func AblTripModel(opts Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		eqL, err := core.SingleClass(name, f, linear)
+		eqL, err := opts.singleClass(name, f, linear)
 		if err != nil {
 			return nil, err
 		}
-		eqC, err := core.SingleClass(name, f, curve)
+		eqC, err := opts.singleClass(name, f, curve)
 		if err != nil {
 			return nil, err
 		}
@@ -81,7 +81,7 @@ func AblDamping(opts Options) (*Report, error) {
 			cfg := gameConfig(opts)
 			cfg.Damping = damping
 			cfg.MaxFixedPointIter = 400
-			eq, err := core.SingleClass(name, f, cfg)
+			eq, err := opts.singleClass(name, f, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -114,7 +114,7 @@ func AblBins(opts Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		eq, err := core.SingleClass("decision", f, cfg)
+		eq, err := opts.singleClass("decision", f, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -145,7 +145,7 @@ func AblRecovery(opts Options) (*Report, error) {
 	// minimum-depth discharge: set Nmin so high that depth is always 1.
 	// We approximate by comparing against an analytic-chain evaluation
 	// which assumes constant recovery.
-	etPol, eq, err := sim.BuildEquilibriumPolicy(cfg)
+	etPol, eq, err := opts.equilibriumPolicy(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -193,7 +193,7 @@ func AblPredictor(opts Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		eq, err := core.SingleClass(name, f, cfg)
+		eq, err := opts.singleClass(name, f, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -260,7 +260,7 @@ func AblTails(opts Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		eq, err := core.SingleClass("pareto", f, cfg)
+		eq, err := opts.singleClass("pareto", f, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("abl-tails alpha=%v: %w", alpha, err)
 		}
@@ -304,7 +304,7 @@ func AblDiscount(opts Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		eq, err := core.SingleClass(name, f, cfg)
+		eq, err := opts.singleClass(name, f, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -348,7 +348,7 @@ func AblOnlinePrediction(opts Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		etPol, eq, err := sim.BuildEquilibriumPolicy(cfg)
+		etPol, eq, err := opts.equilibriumPolicy(cfg)
 		if err != nil {
 			return nil, err
 		}

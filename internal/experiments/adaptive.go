@@ -26,7 +26,7 @@ func ExtAdaptive(opts Options) (*Report, error) {
 	}
 
 	// Reference: the coordinator's equilibrium.
-	etPol, eq, err := sim.BuildEquilibriumPolicy(cfg)
+	etPol, eq, err := opts.equilibriumPolicy(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -46,7 +46,7 @@ func ExtDeviation(opts Options) (*Report, error) {
 	}
 	cfg.TrackAgents = deviantIDs(k)
 
-	etPol, eq, err := sim.BuildEquilibriumPolicy(cfg)
+	etPol, eq, err := opts.equilibriumPolicy(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -34,7 +34,7 @@ func ExtMisreport(opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	eq, err := core.SingleClass("decision", truth, game)
+	eq, err := opts.singleClass("decision", truth, game)
 	if err != nil {
 		return nil, err
 	}
@@ -72,7 +72,7 @@ func ExtMisreport(opts Options) (*Report, error) {
 		Title:  "Incentive compatibility: misreported profiles hurt the liar (§2.3)",
 		Header: []string{"reported profile", "assigned uT", "analytic rate", "simulated rate", "analytic loss"},
 	}
-	etPol, _, err := sim.BuildEquilibriumPolicy(cfg)
+	etPol, _, err := opts.equilibriumPolicy(cfg)
 	if err != nil {
 		return nil, err
 	}

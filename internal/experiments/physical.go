@@ -67,7 +67,7 @@ func ExtPhysGame(opts Options) (*Report, error) {
 		return nil, err
 	}
 	game := core.DefaultConfig()
-	eq, err := core.SingleClass("decision", f, game)
+	eq, err := opts.singleClass("decision", f, game)
 	if err != nil {
 		return nil, err
 	}

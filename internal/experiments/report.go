@@ -9,6 +9,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"sprintgame/internal/core"
 )
 
 // Report is a regenerated table or figure: tabular data plus notes that
@@ -98,6 +100,12 @@ type Options struct {
 	// Quick reduces agents, epochs, and repetitions by roughly an order
 	// of magnitude.
 	Quick bool
+	// Cache, when non-nil, memoizes equilibrium solves across experiments
+	// and between runs: repeated (classes, game) instances reuse one
+	// solution, and a cache warmed from a disk tier starts the whole
+	// suite hot. A nil cache solves directly — results are identical
+	// either way.
+	Cache *core.SolveCache
 }
 
 // Generator produces one experiment's report.

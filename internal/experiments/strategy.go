@@ -66,7 +66,7 @@ func Figure11(opts Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		eq, err := core.SingleClass(b.Name, f, cfg)
+		eq, err := opts.singleClass(b.Name, f, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("fig11 %s: %w", b.Name, err)
 		}

@@ -1,0 +1,84 @@
+package persist
+
+import (
+	"path/filepath"
+	"testing"
+
+	"sprintgame/internal/core"
+	"sprintgame/internal/dist"
+)
+
+// benchInstance is a paper-scale game instance (250-atom density, 1000
+// agents) so the cold leg pays a realistic Algorithm 1 run.
+func benchInstance(tb testing.TB) ([]core.AgentClass, core.Config) {
+	tb.Helper()
+	const atoms = 250
+	values := make([]float64, atoms)
+	weights := make([]float64, atoms)
+	for i := range values {
+		values[i] = 1 + 9*float64(i)/float64(atoms-1)
+		weights[i] = 1 + float64(i%7)
+	}
+	d, err := dist.NewDiscrete(values, weights)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	return []core.AgentClass{{Name: "bench", Count: cfg.N, Density: d}}, cfg
+}
+
+// BenchmarkFirstSolve measures the restart story's headline number: time
+// from process start to the first equilibrium answer. The cold leg runs
+// Algorithm 1; the warm leg replays the disk tier (open + decode), warms
+// a fresh cache, and serves the lookup from memory — the full path a
+// restarted coordinator takes before its first response.
+func BenchmarkFirstSolve(b *testing.B) {
+	classes, cfg := benchInstance(b)
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.FindEquilibrium(classes, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Seed the log once, as the run before the restart would have.
+	path := filepath.Join(b.TempDir(), "equilibria.log")
+	store, _, err := OpenEquilibriumStore(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eq, err := core.FindEquilibrium(classes, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := store.Put(core.SolveKey(classes, cfg), eq); err != nil {
+		b.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s, loaded, err := OpenEquilibriumStore(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cache := core.NewSolveCache(8, nil)
+			if n := cache.Warm(loaded); n != 1 {
+				b.Fatalf("warmed %d entries, want 1", n)
+			}
+			if _, err := cache.FindEquilibrium(classes, cfg); err != nil {
+				b.Fatal(err)
+			}
+			// Closing syncs the (unmodified) log; a server does that at
+			// shutdown, not before its first answer.
+			b.StopTimer()
+			if err := s.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	})
+}

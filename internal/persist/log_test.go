@@ -1,0 +1,234 @@
+package persist
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// reopen closes l and reopens the log at path, returning the replayed
+// records.
+func reopen(t *testing.T, l *Log, path string) (*Log, [][]byte) {
+	t.Helper()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, records, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l2, records
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.log")
+	l, records, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 0 {
+		t.Fatalf("fresh log replayed %d records", len(records))
+	}
+	want := [][]byte{[]byte("alpha"), {}, []byte("gamma with a longer payload")}
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l, records = reopen(t, l, path)
+	defer l.Close()
+	if len(records) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(records), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(records[i], want[i]) {
+			t.Errorf("record %d = %q, want %q", i, records[i], want[i])
+		}
+	}
+}
+
+func TestLogTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.log")
+	l, _, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn final write: a record header with no payload.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{200, 1}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l, records, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1 || string(records[0]) != "good" {
+		t.Fatalf("replay after torn tail = %q, want [good]", records)
+	}
+	// The tail was truncated, so appends extend the good prefix.
+	if err := l.Append([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	l, records = reopen(t, l, path)
+	defer l.Close()
+	if len(records) != 2 || string(records[1]) != "after" {
+		t.Fatalf("replay after repair = %q, want [good after]", records)
+	}
+}
+
+func TestLogCorruptRecordEndsUsablePrefix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.log")
+	l, _, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []string{"first", "second", "third"} {
+		if err := l.Append([]byte(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of "second": its checksum no longer matches,
+	// so the usable prefix ends at "first" — "third" is unreachable
+	// because record boundaries after the corruption are untrustworthy.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := bytes.Index(data, []byte("second"))
+	if idx < 0 {
+		t.Fatal("payload not found")
+	}
+	data[idx] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l, records, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if len(records) != 1 || string(records[0]) != "first" {
+		t.Fatalf("replay after corruption = %q, want [first]", records)
+	}
+}
+
+func TestLogBadHeaderResets(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.log")
+	if err := os.WriteFile(path, []byte("not a log file at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, records, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 0 {
+		t.Fatalf("unusable file replayed %d records", len(records))
+	}
+	if err := l.Append([]byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	l, records = reopen(t, l, path)
+	defer l.Close()
+	if len(records) != 1 || string(records[0]) != "fresh" {
+		t.Fatalf("replay after reset = %q, want [fresh]", records)
+	}
+}
+
+func TestLogOversizedRecordRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.log")
+	l, _, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(make([]byte, maxRecordPayload+1)); err == nil {
+		t.Fatal("oversized append succeeded")
+	}
+}
+
+func TestPackingRoundTrip(t *testing.T) {
+	floats := []float64{0, 1, -1, 0.3, 1e-300, -1e300,
+		math.Inf(1), math.Inf(-1), math.Pi, math.SmallestNonzeroFloat64}
+	column := []float64{0.994, 0.9941, 0.99412, -3.25, 0, 1e17}
+
+	var b []byte
+	b = AppendString(b, "αβγ payload")
+	b = AppendUint64(b, 0xdeadbeefcafef00d)
+	for _, v := range floats {
+		b = AppendFloat(b, v)
+	}
+	b = AppendFloatColumn(b, column)
+	b = AppendFloatColumn(b, nil)
+
+	d := NewDec(b)
+	if s, err := d.String(); err != nil || s != "αβγ payload" {
+		t.Fatalf("String = %q, %v", s, err)
+	}
+	if v, err := d.Uint64(); err != nil || v != 0xdeadbeefcafef00d {
+		t.Fatalf("Uint64 = %x, %v", v, err)
+	}
+	for i, want := range floats {
+		v, err := d.Float()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(v) != math.Float64bits(want) {
+			t.Errorf("float %d: %v != %v (bit-exact)", i, v, want)
+		}
+	}
+	col, err := d.FloatColumn()
+	if err != nil || !reflect.DeepEqual(col, column) {
+		t.Fatalf("FloatColumn = %v, %v", col, err)
+	}
+	if col, err := d.FloatColumn(); err != nil || col != nil {
+		t.Fatalf("empty FloatColumn = %v, %v", col, err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("%d trailing bytes", d.Remaining())
+	}
+
+	// NaN round-trips bit-exactly too.
+	nan := NewDec(AppendFloat(nil, math.NaN()))
+	if v, err := nan.Float(); err != nil || !math.IsNaN(v) {
+		t.Fatalf("NaN = %v, %v", v, err)
+	}
+}
+
+func TestDecBoundsChecked(t *testing.T) {
+	// A string length pointing past the payload must error, not panic
+	// or allocate.
+	d := NewDec([]byte{0xff, 0xff, 0x03, 'x'})
+	if _, err := d.String(); err == nil {
+		t.Fatal("oversized string length accepted")
+	}
+	// Same for column lengths.
+	d = NewDec([]byte{0x80, 0x80, 0x80, 0x04})
+	if _, err := d.FloatColumn(); err == nil {
+		t.Fatal("oversized column length accepted")
+	}
+	d = NewDec(nil)
+	if _, err := d.Byte(); err == nil {
+		t.Fatal("Byte on empty payload accepted")
+	}
+	if _, err := d.Uint64(); err == nil {
+		t.Fatal("Uint64 on empty payload accepted")
+	}
+}

@@ -49,14 +49,42 @@ cat BENCH_cluster.json
 
 # Core solver benchmarks: sweep kernels (reference scan vs O(log n)
 # crossover, small/large densities), cold Algorithm 1 runs (serial vs
-# parallel, 1/4/8 classes), and the batched SoA solver vs per-call
-# solving.
+# parallel, 1/4/8 classes), the batched SoA solver vs per-call solving,
+# the L1 on/off hit cost, and the warm-restart first solve (replay the
+# disk tier + serve from cache) vs a cold Algorithm 1 run.
 go test -run '^$' \
-	-bench 'BenchmarkSolveBellman$|BenchmarkSolveBellmanKernel|BenchmarkFindEquilibriumCold|BenchmarkSolveBatch' \
+	-bench 'BenchmarkSolveBellman$|BenchmarkSolveBellmanKernel|BenchmarkFindEquilibriumCold|BenchmarkSolveBatch|BenchmarkL1Lookup' \
 	-benchtime "$BENCHTIME" ./internal/core >"$RAW"
+go test -run '^$' -bench 'BenchmarkFirstSolve' \
+	-benchtime "$BENCHTIME" ./internal/persist >>"$RAW"
 json_from_bench <"$RAW" >BENCH_core.json
 echo "wrote BENCH_core.json:"
 cat BENCH_core.json
+
+# bench_ns name-prefix: first matching ns_per_op from BENCH_core.json.
+bench_ns() {
+	sed -n 's|.*"name": "'"$1"'[^"]*", "iterations": [0-9]*, "ns_per_op": \([0-9.e+]*\).*|\1|p' \
+		BENCH_core.json | head -1
+}
+
+# Perf gates. Batched SoA solving must not lose to per-call solving
+# (5% tolerance for benchtime noise), and a warm first solve must beat
+# a cold one by at least 10x — the regressions this PR sequence fixed
+# stay fixed, or this script fails loudly.
+batched=$(bench_ns "BenchmarkSolveBatch/batched")
+percall=$(bench_ns "BenchmarkSolveBatch/percall")
+awk -v b="$batched" -v p="$percall" 'BEGIN {
+	if (b == "" || p == "") { print "gate: batch benchmarks missing from BENCH_core.json"; exit 1 }
+	if (b > 1.05 * p) { printf "gate: batched solve %s ns/op slower than per-call %s ns/op\n", b, p; exit 1 }
+	printf "gate ok: batched %s ns/op <= per-call %s ns/op\n", b, p
+}'
+cold=$(bench_ns "BenchmarkFirstSolve/cold")
+warm=$(bench_ns "BenchmarkFirstSolve/warm")
+awk -v c="$cold" -v w="$warm" 'BEGIN {
+	if (c == "" || w == "") { print "gate: first-solve benchmarks missing from BENCH_core.json"; exit 1 }
+	if (10 * w > c) { printf "gate: warm first solve %s ns/op is under 10x faster than cold %s ns/op\n", w, c; exit 1 }
+	printf "gate ok: warm first solve %s ns/op is >= 10x faster than cold %s ns/op\n", w, c
+}'
 
 # Serving-path benchmark: closed-loop load against in-process
 # coordinator topologies, reported as throughput plus p50/p99/p99.9
