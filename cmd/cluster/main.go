@@ -41,26 +41,27 @@ import (
 
 func main() {
 	var (
-		racks     = flag.Int("racks", 8, "number of racks in the cluster")
-		chips     = flag.Int("chips", 256, "chips (agents) per rack")
-		epochs    = flag.Int("epochs", 1000, "epochs to simulate per rack")
-		workers   = flag.String("workers", "0", "worker goroutines: a count (0 = NumCPU) or \"auto\" to size the pool from a short calibration run's rack task-rate histogram; results are identical for any value")
-		apps      = flag.String("app", "decision", "comma-separated benchmark names for each rack's mix")
-		rotate    = flag.Bool("rotate", false, "rotate the app mix per rack for a heterogeneous cluster")
-		polName   = flag.String("policy", "equilibrium", "greedy | backoff | equilibrium | never")
-		seed      = flag.Uint64("seed", 1, "cluster base seed (per-rack seeds are derived)")
-		cacheSize = flag.Int("cache-size", 0, "equilibrium solve-cache capacity (0 = default)")
-		cacheDir  = flag.String("cache-dir", "", "directory for the disk solve-cache tier: warm-starts from and spills equilibria to <dir>/equilibria.log")
-		faultSpec = flag.String("faults", "", "inject rack faults: a kill rate in [0,1] (\"0.2\") or rack@epoch pairs (\"3@100,7@250\")")
-		transient = flag.Bool("fault-transient", false, "injected faults are transient: retried attempts run clean")
-		retries   = flag.Int("max-retries", 0, "retry attempts per restartable rack failure")
-		partial   = flag.Bool("allow-partial", false, "aggregate surviving racks when some racks fail instead of erroring")
-		arrivals  = flag.String("arrivals", "", "serving mode: arrival spec (poisson:rate=...,units=..., diurnal:..., trace:...)")
-		routeName = flag.String("route", "least-loaded", "serving mode: routing policy (round-robin | random | least-loaded | sprint-aware)")
-		replay    = flag.String("trace-replay", "", "serving mode: trace-set file (cmd/tracegen output) for arrival kind \"trace\"")
-		traceOut  = flag.String("trace", "", "write cluster.epoch/cluster.rack JSONL events to this file ('-' for stdout)")
-		metricsTo = flag.String("metrics", "", "write the final metrics registry as JSON to this file ('-' for stdout)")
-		debugAddr = flag.String("debug-addr", "", "serve the debug endpoint (/metrics, /debug/pprof, /debug/vars) on this address while running")
+		racks        = flag.Int("racks", 8, "number of racks in the cluster")
+		chips        = flag.Int("chips", 256, "chips (agents) per rack")
+		epochs       = flag.Int("epochs", 1000, "epochs to simulate per rack")
+		workers      = flag.String("workers", "0", "worker goroutines: a count (0 = NumCPU) or \"auto\" to size the pool from a short calibration run's rack task-rate histogram; results are identical for any value")
+		apps         = flag.String("app", "decision", "comma-separated benchmark names for each rack's mix")
+		rotate       = flag.Bool("rotate", false, "rotate the app mix per rack for a heterogeneous cluster")
+		polName      = flag.String("policy", "equilibrium", "greedy | backoff | equilibrium | never")
+		seed         = flag.Uint64("seed", 1, "cluster base seed (per-rack seeds are derived)")
+		cacheSize    = flag.Int("cache-size", 0, "equilibrium solve-cache capacity (0 = default)")
+		cacheDir     = flag.String("cache-dir", "", "directory for the disk solve-cache tier: warm-starts from and spills equilibria to <dir>/equilibria.log")
+		neighborWarm = flag.Bool("neighbor-warm", false, "seed cache-miss solves from the nearest cached same-family instance (same mix, drifted counts) instead of cold-starting")
+		faultSpec    = flag.String("faults", "", "inject rack faults: a kill rate in [0,1] (\"0.2\") or rack@epoch pairs (\"3@100,7@250\")")
+		transient    = flag.Bool("fault-transient", false, "injected faults are transient: retried attempts run clean")
+		retries      = flag.Int("max-retries", 0, "retry attempts per restartable rack failure")
+		partial      = flag.Bool("allow-partial", false, "aggregate surviving racks when some racks fail instead of erroring")
+		arrivals     = flag.String("arrivals", "", "serving mode: arrival spec (poisson:rate=...,units=..., diurnal:..., trace:...)")
+		routeName    = flag.String("route", "least-loaded", "serving mode: routing policy (round-robin | random | least-loaded | sprint-aware)")
+		replay       = flag.String("trace-replay", "", "serving mode: trace-set file (cmd/tracegen output) for arrival kind \"trace\"")
+		traceOut     = flag.String("trace", "", "write cluster.epoch/cluster.rack JSONL events to this file ('-' for stdout)")
+		metricsTo    = flag.String("metrics", "", "write the final metrics registry as JSON to this file ('-' for stdout)")
+		debugAddr    = flag.String("debug-addr", "", "serve the debug endpoint (/metrics, /debug/pprof, /debug/vars) on this address while running")
 	)
 	flag.Parse()
 
@@ -122,6 +123,7 @@ func main() {
 	}
 
 	cache := core.NewSolveCache(*cacheSize, metrics)
+	cache.SetNeighborWarm(*neighborWarm)
 	if *cacheDir != "" {
 		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
 			fatal(err)

@@ -52,40 +52,42 @@ import (
 
 // params carries the load-model knobs shared by every benchmark point.
 type params struct {
-	mode        string
-	concurrency int
-	rate        float64
-	duration    time.Duration
-	requests    int
-	classes     int
-	agents      int
-	churn       float64
-	cacheSize   int
-	cacheDir    string
-	l1Size      int
-	seed        uint64
+	mode         string
+	concurrency  int
+	rate         float64
+	duration     time.Duration
+	requests     int
+	classes      int
+	agents       int
+	churn        float64
+	cacheSize    int
+	cacheDir     string
+	l1Size       int
+	neighborWarm bool
+	seed         uint64
 }
 
 func main() {
 	var (
-		addr        = flag.String("addr", "", "coordinator address; empty starts an in-process server")
-		mode        = flag.String("mode", "closed", "load model: closed (fixed concurrency) | open (fixed rate)")
-		concurrency = flag.Int("concurrency", 8, "closed-loop worker count")
-		rate        = flag.Float64("rate", 200, "open-loop arrival rate, requests/sec")
-		duration    = flag.Duration("duration", 5*time.Second, "benchmark duration (ignored when -requests > 0)")
-		requests    = flag.Int("requests", 0, "stop after this many requests instead of -duration")
-		classes     = flag.Int("classes", 3, "workload classes registered before the run")
-		agents      = flag.Int("agents", 12, "agents (profiles) registered before the run")
-		churn       = flag.Float64("churn", 0, "per-request probability of resubmitting a perturbed profile (forces re-solves)")
-		cacheSize   = flag.Int("cache-size", 0, "server solve-cache capacity (0 = default; in-process server only)")
-		cacheDir    = flag.String("cache-dir", "", "directory for the disk solve-cache tier: the in-process server warm-starts from and spills equilibria to <dir>/equilibria.log")
-		l1Size      = flag.Int("l1-size", 0, "per-shard L1 cache capacity in front of the shared solve cache (0 disables; in-process server only)")
-		shards      = flag.Int("shards", 0, "in-process shard servers behind a router (0 = one direct server, no router)")
-		protoFlag   = flag.String("proto", "json", "wire protocol: json | binary")
-		curve       = flag.Bool("curve", false, "sweep shards x proto ({1,2,4} x {json,binary} plus the direct baseline) and record every point")
-		seed        = flag.Uint64("seed", 1, "seed for profiles and churn decisions")
-		out         = flag.String("out", "", "write the JSON report to this file ('-' for stdout)")
-		traceOut    = flag.String("trace", "", "write span JSONL (client and server stitched) to this file")
+		addr         = flag.String("addr", "", "coordinator address; empty starts an in-process server")
+		mode         = flag.String("mode", "closed", "load model: closed (fixed concurrency) | open (fixed rate)")
+		concurrency  = flag.Int("concurrency", 8, "closed-loop worker count")
+		rate         = flag.Float64("rate", 200, "open-loop arrival rate, requests/sec")
+		duration     = flag.Duration("duration", 5*time.Second, "benchmark duration (ignored when -requests > 0)")
+		requests     = flag.Int("requests", 0, "stop after this many requests instead of -duration")
+		classes      = flag.Int("classes", 3, "workload classes registered before the run")
+		agents       = flag.Int("agents", 12, "agents (profiles) registered before the run")
+		churn        = flag.Float64("churn", 0, "per-request probability of resubmitting a perturbed profile (forces re-solves)")
+		cacheSize    = flag.Int("cache-size", 0, "server solve-cache capacity (0 = default; in-process server only)")
+		cacheDir     = flag.String("cache-dir", "", "directory for the disk solve-cache tier: the in-process server warm-starts from and spills equilibria to <dir>/equilibria.log")
+		l1Size       = flag.Int("l1-size", 0, "per-shard L1 cache capacity in front of the shared solve cache (0 disables; in-process server only)")
+		neighborWarm = flag.Bool("neighbor-warm", false, "seed cache-miss solves from the nearest cached same-family instance (in-process server only)")
+		shards       = flag.Int("shards", 0, "in-process shard servers behind a router (0 = one direct server, no router)")
+		protoFlag    = flag.String("proto", "json", "wire protocol: json | binary")
+		curve        = flag.Bool("curve", false, "sweep shards x proto ({1,2,4} x {json,binary} plus the direct baseline) and record every point")
+		seed         = flag.Uint64("seed", 1, "seed for profiles and churn decisions")
+		out          = flag.String("out", "", "write the JSON report to this file ('-' for stdout)")
+		traceOut     = flag.String("trace", "", "write span JSONL (client and server stitched) to this file")
 	)
 	flag.Parse()
 	if *mode != "closed" && *mode != "open" {
@@ -115,7 +117,7 @@ func main() {
 		mode: *mode, concurrency: *concurrency, rate: *rate,
 		duration: *duration, requests: *requests, classes: *classes,
 		agents: *agents, churn: *churn, cacheSize: *cacheSize,
-		cacheDir: *cacheDir, l1Size: *l1Size, seed: *seed,
+		cacheDir: *cacheDir, l1Size: *l1Size, neighborWarm: *neighborWarm, seed: *seed,
 	}
 	if *cacheDir != "" && *addr != "" {
 		fatal(fmt.Errorf("-cache-dir needs the in-process server (drop -addr)"))
@@ -222,6 +224,7 @@ func runPoint(p params, shards int, proto coord.Proto, addr string, tracer *tele
 	}()
 	if target == "" {
 		cache = core.NewSolveCache(p.cacheSize, metrics)
+		cache.SetNeighborWarm(p.neighborWarm)
 		if p.cacheDir != "" {
 			if err := os.MkdirAll(p.cacheDir, 0o755); err != nil {
 				return nil, err

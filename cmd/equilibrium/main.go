@@ -30,17 +30,18 @@ import (
 
 func main() {
 	var (
-		apps        = flag.String("apps", "decision=1000", "class counts, e.g. decision=600,pagerank=400")
-		serve       = flag.String("serve", "", "serve the coordinator protocol on this TCP address instead")
-		bins        = flag.Int("bins", sim.DensityBins, "utility density bins")
-		connTimeout = flag.Duration("conn-timeout", coord.DefaultConnTimeout, "per-connection read/write deadline in serve mode (negative disables)")
-		cacheSize   = flag.Int("cache-size", core.DefaultSolveCacheCapacity, "equilibrium solve-cache capacity in serve mode (0 disables caching)")
-		cacheDir    = flag.String("cache-dir", "", "serve mode: directory for warm state — solved equilibria spill to <dir>/equilibria.log and reload on start; with -shards the router also journals profiles to <dir>/profiles.log")
-		l1Size      = flag.Int("l1-size", 0, "serve mode: per-shard L1 cache capacity in front of the shared solve cache (0 disables the L1 tier)")
-		shards      = flag.Int("shards", 0, "serve mode: front N coordinator shards (sharing one solve cache) with a router at the -serve address (0 = single server)")
-		shardProto  = flag.String("shard-proto", "binary", "serve mode with -shards: router-to-shard wire protocol (json | binary)")
-		traceOut    = flag.String("trace", "", "write a JSONL telemetry trace (solver/coordinator events) to this file ('-' for stdout)")
-		debugAddr   = flag.String("debug-addr", "", "serve the debug endpoint (/metrics, /debug/pprof, /debug/vars) on this address")
+		apps         = flag.String("apps", "decision=1000", "class counts, e.g. decision=600,pagerank=400")
+		serve        = flag.String("serve", "", "serve the coordinator protocol on this TCP address instead")
+		bins         = flag.Int("bins", sim.DensityBins, "utility density bins")
+		connTimeout  = flag.Duration("conn-timeout", coord.DefaultConnTimeout, "per-connection read/write deadline in serve mode (negative disables)")
+		cacheSize    = flag.Int("cache-size", core.DefaultSolveCacheCapacity, "equilibrium solve-cache capacity in serve mode (0 disables caching)")
+		cacheDir     = flag.String("cache-dir", "", "serve mode: directory for warm state — solved equilibria spill to <dir>/equilibria.log and reload on start; with -shards the router also journals profiles to <dir>/profiles.log")
+		l1Size       = flag.Int("l1-size", 0, "serve mode: per-shard L1 cache capacity in front of the shared solve cache (0 disables the L1 tier)")
+		neighborWarm = flag.Bool("neighbor-warm", false, "serve mode: seed cache-miss solves from the nearest cached same-family instance (same classes/densities, drifted counts) instead of cold-starting")
+		shards       = flag.Int("shards", 0, "serve mode: front N coordinator shards (sharing one solve cache) with a router at the -serve address (0 = single server)")
+		shardProto   = flag.String("shard-proto", "binary", "serve mode with -shards: router-to-shard wire protocol (json | binary)")
+		traceOut     = flag.String("trace", "", "write a JSONL telemetry trace (solver/coordinator events) to this file ('-' for stdout)")
+		debugAddr    = flag.String("debug-addr", "", "serve the debug endpoint (/metrics, /debug/pprof, /debug/vars) on this address")
 	)
 	flag.Parse()
 
@@ -97,6 +98,9 @@ func main() {
 		var cache *core.SolveCache
 		if *cacheSize > 0 {
 			cache = core.NewSolveCache(*cacheSize, metrics)
+			cache.SetNeighborWarm(*neighborWarm)
+		} else if *neighborWarm {
+			fatal(fmt.Errorf("-neighbor-warm needs -cache-size > 0: seeds come from cached neighbours"))
 		}
 		var profileLog string
 		if *cacheDir != "" {

@@ -25,13 +25,14 @@ import (
 
 func main() {
 	var (
-		runID    = flag.String("run", "all", "experiment id (e.g. fig8, table1) or 'all'")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		quick    = flag.Bool("quick", false, "reduced scale (200 agents, fewer epochs)")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		epochs   = flag.Int("epochs", 0, "override epochs per simulation (0 = default)")
-		format   = flag.String("format", "text", "output format: text, csv, json, or plot")
-		cacheDir = flag.String("cache-dir", "", "warm-state directory: equilibrium solves spill to <dir>/equilibria.log and reload on the next run")
+		runID        = flag.String("run", "all", "experiment id (e.g. fig8, table1) or 'all'")
+		list         = flag.Bool("list", false, "list experiment ids and exit")
+		quick        = flag.Bool("quick", false, "reduced scale (200 agents, fewer epochs)")
+		seed         = flag.Uint64("seed", 1, "random seed")
+		epochs       = flag.Int("epochs", 0, "override epochs per simulation (0 = default)")
+		format       = flag.String("format", "text", "output format: text, csv, json, or plot")
+		cacheDir     = flag.String("cache-dir", "", "warm-state directory: equilibrium solves spill to <dir>/equilibria.log and reload on the next run")
+		neighborWarm = flag.Bool("neighbor-warm", false, "seed cache-miss solves from the nearest cached same-family instance (same classes/densities, drifted counts) instead of cold-starting")
 	)
 	flag.Parse()
 
@@ -47,6 +48,7 @@ func main() {
 	// figure starts from the Table 2 configuration) solve once; with
 	// -cache-dir the solutions also persist, so a re-run starts hot.
 	cache := core.NewSolveCache(core.DefaultSolveCacheCapacity, nil)
+	cache.SetNeighborWarm(*neighborWarm)
 	opts.Cache = cache
 	if *cacheDir != "" {
 		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {

@@ -17,6 +17,10 @@ type PresolveStats struct {
 	Cached int
 	// Solved is how many instances the batched pass solved and admitted.
 	Solved int
+	// Warmed is how many solved instances were seeded from a cached
+	// neighbour's equilibrium (cache.NeighborSeed) instead of the cold
+	// Ptrip = 1 start. Zero unless the cache has SetNeighborWarm on.
+	Warmed int
 	// Skipped counts racks whose classes could not be built plus lanes
 	// whose solve failed. Skipped instances are not admitted; the same
 	// failure resurfaces with rack context when Run builds the policy.
@@ -50,6 +54,7 @@ func PresolveEquilibria(cfg Config, cache *core.SolveCache) PresolveStats {
 	seen := make(map[uint64]struct{}, len(cfg.Racks))
 	var keys []uint64
 	var reqs []core.SolveRequest
+	var reqClasses [][]core.AgentClass
 	for i := range cfg.Racks {
 		simCfg := cfg.RackSimConfig(i)
 		classes, err := sim.GameClasses(simCfg)
@@ -67,8 +72,16 @@ func PresolveEquilibria(cfg Config, cache *core.SolveCache) PresolveStats {
 			st.Cached++
 			continue
 		}
+		// Neighbour warmth: a near-miss instance (same mix, drifted
+		// counts) seeds its lane from the nearest cached neighbour.
+		// NeighborSeed returns nil unless the cache opted in.
+		warm := cache.NeighborSeed(classes, simCfg.Game)
+		if warm != nil {
+			st.Warmed++
+		}
 		keys = append(keys, key)
-		reqs = append(reqs, core.SolveRequest{Classes: classes, Cfg: simCfg.Game})
+		reqs = append(reqs, core.SolveRequest{Classes: classes, Cfg: simCfg.Game, Warm: warm})
+		reqClasses = append(reqClasses, classes)
 	}
 	if len(reqs) == 0 {
 		return st
@@ -84,10 +97,19 @@ func PresolveEquilibria(cfg Config, cache *core.SolveCache) PresolveStats {
 		st.Solved++
 	}
 	cache.Admit(entries)
+	// Admit files bare (key, equilibrium) pairs; register the classes we
+	// do know so this pass's solutions can seed the next pass's
+	// near-miss instances (no-op unless neighbour warming is on).
+	for i, r := range results {
+		if r.Err == nil {
+			cache.IndexNeighbor(keys[i], reqClasses[i], reqs[i].Cfg)
+		}
+	}
 	if m := cfg.Metrics; m != nil {
 		m.Counter("cluster.presolves").Inc()
 		m.Counter("cluster.presolve_solved").Add(int64(st.Solved))
 		m.Counter("cluster.presolve_cached").Add(int64(st.Cached))
+		m.Counter("cluster.presolve_warmed").Add(int64(st.Warmed))
 	}
 	return st
 }

@@ -1,6 +1,7 @@
 package coord
 
 import (
+	"fmt"
 	"net"
 	"sync"
 	"testing"
@@ -194,5 +195,51 @@ func TestClientTimeoutDefaultsAndDisable(t *testing.T) {
 	custom := NewClientWith("127.0.0.1:1", ClientOptions{DialTimeout: time.Second, RequestTimeout: time.Minute})
 	if custom.dialTimeout != time.Second || custom.reqTimeout != time.Minute {
 		t.Errorf("explicit options not honored: (%v, %v)", custom.dialTimeout, custom.reqTimeout)
+	}
+}
+
+// TestChurnedPoolNeighborWarm pins neighbour seeding on the live
+// serving path: the coordinator re-pools class densities every time the
+// population changes, and the accumulated atom weights differ in their
+// last mantissa bits between 100 and 102 agents even when every profile
+// is identical. FamilyKey quantizes atom coordinates before hashing
+// exactly so this churn stays in one family — without it the neighbour
+// tier never fires outside synthetic tests (the regression this pins:
+// two misses, zero neighbour warms).
+func TestChurnedPoolNeighborWarm(t *testing.T) {
+	cache := core.NewSolveCache(64, nil)
+	cache.SetNeighborWarm(true)
+	c, err := NewCoordinator(gameConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.UseCache(cache)
+	submit := func(i int) {
+		t.Helper()
+		if err := c.Submit(Profile{
+			Agent: fmt.Sprintf("a%d", i), Class: "decision",
+			Values: []float64{1, 2, 6}, Weights: []float64{0.5, 0.3, 0.2},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		submit(i)
+	}
+	if _, _, err := c.ComputeStrategies(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 100; i < 102; i++ {
+		submit(i)
+	}
+	if _, _, err := c.ComputeStrategies(); err != nil {
+		t.Fatal(err)
+	}
+	st := cache.Stats()
+	if st.Misses != 2 {
+		t.Fatalf("misses = %d, want 2 (both pools must be exact misses)", st.Misses)
+	}
+	if st.NeighborWarms != 1 {
+		t.Fatalf("NeighborWarms = %d, want 1: churned pool left its family", st.NeighborWarms)
 	}
 }

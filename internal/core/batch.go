@@ -27,10 +27,15 @@ import (
 // (pinned by differential tests).
 
 // SolveRequest is one game instance of a batch: the arguments of one
-// FindEquilibrium call.
+// FindEquilibriumWarm call. Warm, when non-nil, seeds the instance's
+// Algorithm 1 from a previous solution (e.g. a cached neighbour's
+// equilibrium) exactly as FindEquilibriumWarm would; nil lanes
+// cold-start from Ptrip = 1. Warm and cold lanes mix freely in one
+// batch — each lane's trajectory matches its serial counterpart.
 type SolveRequest struct {
 	Classes []AgentClass
 	Cfg     Config
+	Warm    *WarmStart
 }
 
 // BatchResult pairs one request's equilibrium with its error; exactly
@@ -247,8 +252,8 @@ type batchInstance struct {
 // prefix-sum columns across lanes. Instances converge independently —
 // a finished instance simply stops contributing lanes — and per-lane
 // warm starts across outer iterations match FindEquilibrium's, so every
-// result is byte-identical to a standalone FindEquilibrium call with
-// the same arguments.
+// result is byte-identical to a standalone FindEquilibriumWarm call
+// with the same (Classes, Cfg, Warm) arguments.
 //
 // Telemetry parity: solver.runs / solver.iterations / solver.residual
 // and the solver.step / solver.done trace events are emitted per
@@ -264,7 +269,7 @@ func SolveBatch(reqs []SolveRequest) []BatchResult {
 			continue
 		}
 		r.Cfg.Metrics.Counter("solver.runs").Inc()
-		active = append(active, &batchInstance{
+		inst := &batchInstance{
 			idx:     i,
 			classes: r.Classes,
 			cfg:     r.Cfg,
@@ -274,7 +279,14 @@ func SolveBatch(reqs []SolveRequest) []BatchResult {
 				Classes:   make([]ClassOutcome, len(r.Classes)),
 				Residuals: make([]float64, 0, r.Cfg.MaxFixedPointIter),
 			},
-		})
+		}
+		if r.Warm != nil {
+			// Mirrors FindEquilibriumWarm's seeding: the lane's first
+			// sweeps start from the neighbour's Ptrip and Values.
+			inst.ptrip = r.Warm.Ptrip
+			copy(inst.guesses, r.Warm.Values)
+		}
+		active = append(active, inst)
 	}
 
 	var lanes bellmanLanes
@@ -323,6 +335,15 @@ func validateRequest(r SolveRequest) error {
 	}
 	if total != r.Cfg.N {
 		return fmt.Errorf("core: class counts sum to %d but config has N = %d", total, r.Cfg.N)
+	}
+	// Warm-start checks, message for message with FindEquilibriumWarm.
+	if r.Warm != nil {
+		if r.Warm.Ptrip < 0 || r.Warm.Ptrip > 1 {
+			return fmt.Errorf("core: warm-start ptrip = %v is not a probability", r.Warm.Ptrip)
+		}
+		if r.Warm.Values != nil && len(r.Warm.Values) != len(r.Classes) {
+			return fmt.Errorf("core: warm start has %d value sets for %d classes", len(r.Warm.Values), len(r.Classes))
+		}
 	}
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"sprintgame/internal/power"
 	"sprintgame/internal/telemetry"
 )
 
@@ -53,6 +54,16 @@ type SolveCache struct {
 	// miss after restart, never the solve.
 	store               EquilibriumStore
 	spills, spillErrors atomic.Int64
+
+	// Neighbour tier (SetNeighborWarm, see neighbor.go): cached
+	// instances indexed by FamilyKey so an exact miss can seed its solve
+	// from the nearest same-family neighbour's equilibrium. All three
+	// fields are guarded by mu; the counters are atomics.
+	neighborWarm    bool
+	neighborMaxDist float64
+	neighbors       *neighborIndex
+
+	neighborWarms, neighborIt atomic.Int64
 }
 
 // EquilibriumStore is the disk tier the cache writes solved equilibria
@@ -62,18 +73,30 @@ type EquilibriumStore interface {
 	Put(key uint64, eq *Equilibrium) error
 }
 
-// pendingSolve is one queued miss awaiting a batched round.
+// pendingSolve is one queued miss awaiting a batched round. warm, fam,
+// and counts are resolved at enqueue time, under the lock where the
+// neighbour index and the LRU are consistent (hasFam marks them valid);
+// the round carries warm into its SolveBatch lane and files the solved
+// entry under fam afterwards.
 type pendingSolve struct {
 	key     uint64
 	classes []AgentClass
 	cfg     Config
 	call    *inflightSolve
+	warm    *WarmStart
+	fam     uint64
+	counts  []int
+	hasFam  bool
 }
 
-// cacheEntry is one memoized solution.
+// cacheEntry is one memoized solution. indexed marks entries filed in
+// the neighbour index under fam; entries inserted by Warm/Admit carry
+// no class information and stay unindexed until a hit reveals it.
 type cacheEntry struct {
-	key uint64
-	eq  *Equilibrium
+	key     uint64
+	eq      *Equilibrium
+	fam     uint64
+	indexed bool
 }
 
 // inflightSolve is a solve in progress that later arrivals wait on.
@@ -114,6 +137,14 @@ type SolveCacheStats struct {
 	Spills      int64 // equilibria written through to the disk tier
 	SpillErrors int64 // disk-tier writes that failed (entry stays cached)
 	Size        int   // entries currently cached
+
+	// NeighborWarms counts misses solved from a neighbour's seed instead
+	// of the cold Ptrip = 1 start; NeighborWarmIters sums the Algorithm 1
+	// iterations those warm solves used (compare against cold solves of
+	// the same instances to measure iterations saved). Both stay zero
+	// unless SetNeighborWarm is on.
+	NeighborWarms     int64
+	NeighborWarmIters int64
 }
 
 // HitRate returns the fraction of lookups that avoided a solve
@@ -135,13 +166,15 @@ func (c *SolveCache) Stats() SolveCacheStats {
 	size := c.order.Len()
 	c.mu.Unlock()
 	return SolveCacheStats{
-		Hits:        c.hits.Load(),
-		Misses:      c.misses.Load(),
-		Coalesced:   c.coalesced.Load(),
-		Evictions:   c.evictions.Load(),
-		Spills:      c.spills.Load(),
-		SpillErrors: c.spillErrors.Load(),
-		Size:        size,
+		Hits:              c.hits.Load(),
+		Misses:            c.misses.Load(),
+		Coalesced:         c.coalesced.Load(),
+		Evictions:         c.evictions.Load(),
+		Spills:            c.spills.Load(),
+		SpillErrors:       c.spillErrors.Load(),
+		Size:              size,
+		NeighborWarms:     c.neighborWarms.Load(),
+		NeighborWarmIters: c.neighborIt.Load(),
 	}
 }
 
@@ -193,14 +226,24 @@ func (c *SolveCache) findKeyed(key uint64, classes []AgentClass, cfg Config, par
 
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		// Capture the equilibrium pointer before releasing the lock:
+		// Warm and Admit overwrite ent.eq in place under c.mu, so a read
+		// after Unlock would race them.
+		eq := ent.eq
 		c.order.MoveToFront(el)
+		if c.neighborWarm && !ent.indexed {
+			// Entries warm-loaded from disk carry no class information;
+			// the first hit reveals it, so index them here.
+			c.indexNeighborLocked(ent, FamilyKey(classes, cfg), classCounts(classes))
+		}
 		c.mu.Unlock()
 		c.hits.Add(1)
 		c.metrics.Counter("solvecache.hits").Inc()
 		if lookup != nil {
 			lookup.EndWith(telemetry.Fields{"outcome": "hit"})
 		}
-		return el.Value.(*cacheEntry).eq, nil
+		return eq, nil
 	}
 	if call, ok := c.inflight[key]; ok {
 		c.mu.Unlock()
@@ -214,8 +257,24 @@ func (c *SolveCache) findKeyed(key uint64, classes []AgentClass, cfg Config, par
 	}
 	call := &inflightSolve{done: make(chan struct{})}
 	c.inflight[key] = call
+	// Neighbour seed: resolved under the lock, where the family index and
+	// the LRU are consistent. FamilyKey costs one hash of the instance —
+	// noise against the solve the miss is about to run.
+	var warm *WarmStart
+	var fam uint64
+	var counts []int
+	hasFam := false
+	if c.neighborWarm {
+		fam = FamilyKey(classes, cfg)
+		counts = classCounts(classes)
+		warm = c.neighborSeedLocked(fam, counts)
+		hasFam = true
+	}
 	if c.batching {
-		c.pending = append(c.pending, pendingSolve{key: key, classes: classes, cfg: cfg, call: call})
+		c.pending = append(c.pending, pendingSolve{
+			key: key, classes: classes, cfg: cfg, call: call,
+			warm: warm, fam: fam, counts: counts, hasFam: hasFam,
+		})
 		becameLeader := !c.leaderActive
 		if becameLeader {
 			c.leaderActive = true
@@ -252,9 +311,12 @@ func (c *SolveCache) findKeyed(key uint64, classes []AgentClass, cfg Config, par
 	}
 	solve := parent.Child("core.solve")
 	cfg.Span = solve
-	call.eq, call.err = FindEquilibrium(classes, cfg)
+	call.eq, call.err = FindEquilibriumWarm(classes, cfg, warm)
 	if solve != nil {
 		solve.EndWith(solveFields(call.eq, call.err))
+	}
+	if call.err == nil && warm != nil {
+		c.noteNeighborWarm(call.eq)
 	}
 
 	c.mu.Lock()
@@ -262,6 +324,9 @@ func (c *SolveCache) findKeyed(key uint64, classes []AgentClass, cfg Config, par
 	var store EquilibriumStore
 	if call.err == nil {
 		c.insertLocked(key, call.eq)
+		if hasFam && c.neighbors != nil {
+			c.indexNeighborLocked(c.entries[key].Value.(*cacheEntry), fam, counts)
+		}
 		store = c.store
 	}
 	c.metrics.Gauge("solvecache.size").Set(float64(c.order.Len()))
@@ -448,7 +513,7 @@ func (c *SolveCache) solveRound(batch []pendingSolve, parent *telemetry.Span) {
 	for i, p := range batch {
 		cfg := p.cfg
 		cfg.Span = nil // batch lanes emit no per-iteration spans
-		reqs[i] = SolveRequest{Classes: p.classes, Cfg: cfg}
+		reqs[i] = SolveRequest{Classes: p.classes, Cfg: cfg, Warm: p.warm}
 	}
 	results := SolveBatch(reqs)
 	c.metrics.Counter("solvecache.batches").Inc()
@@ -463,12 +528,18 @@ func (c *SolveCache) solveRound(batch []pendingSolve, parent *telemetry.Span) {
 		delete(c.inflight, p.key)
 		if p.call.err == nil {
 			c.insertLocked(p.key, p.call.eq)
+			if p.hasFam && c.neighbors != nil {
+				c.indexNeighborLocked(c.entries[p.key].Value.(*cacheEntry), p.fam, p.counts)
+			}
 			store = c.store
 		}
 	}
 	c.metrics.Gauge("solvecache.size").Set(float64(c.order.Len()))
 	c.mu.Unlock()
 	for _, p := range batch {
+		if p.call.err == nil && p.warm != nil {
+			c.noteNeighborWarm(p.call.eq)
+		}
 		close(p.call.done)
 	}
 	if store != nil {
@@ -488,10 +559,25 @@ func (c *SolveCache) insertLocked(key uint64, eq *Equilibrium) {
 	for c.order.Len() > c.capacity {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		ent := oldest.Value.(*cacheEntry)
+		delete(c.entries, ent.key)
+		if ent.indexed {
+			// Evicted instances must stop seeding: a stale ref would hand
+			// out an equilibrium the cache no longer owns.
+			c.neighbors.remove(ent.fam, ent.key)
+		}
 		c.evictions.Add(1)
 		c.metrics.Counter("solvecache.evictions").Inc()
 	}
+}
+
+// noteNeighborWarm records one miss solved from a neighbour's seed
+// instead of the cold Ptrip = 1 start.
+func (c *SolveCache) noteNeighborWarm(eq *Equilibrium) {
+	c.neighborWarms.Add(1)
+	c.neighborIt.Add(int64(eq.Iterations))
+	c.metrics.Counter("solvecache.neighbor_warms").Inc()
+	c.metrics.Counter("solvecache.neighbor_warm_iters").Add(int64(eq.Iterations))
 }
 
 // solveFields summarizes a solve's outcome for its core.solve span.
@@ -560,18 +646,40 @@ func SolveKey(classes []AgentClass, cfg Config) uint64 {
 	u64(uint64(cfg.Kernel))
 	u64(uint64(cfg.Accel))
 
-	if cfg.Trip != nil {
-		nMin, nMax := cfg.Trip.Bounds()
-		f64(nMin)
-		f64(nMax)
-		span := nMax * 1.25
-		if span <= 0 {
-			span = 1
-		}
-		for i := 0; i < tripFingerprintSamples; i++ {
-			n := span * float64(i) / float64(tripFingerprintSamples-1)
-			f64(cfg.Trip.Ptrip(n))
-		}
-	}
+	tripFingerprint(cfg.Trip, f64)
 	return h.Sum64()
+}
+
+// tripFingerprintSpanCap bounds the sampled span. An unbounded trip
+// model reports nMax = +Inf, and the un-clamped span = nMax * 1.25
+// would put every sample point at 0 * Inf = NaN then Inf — the same
+// degenerate points for every such model, collapsing distinct curves
+// onto colliding keys. The raw bounds bits are always keyed (so +Inf
+// itself distinguishes bounded from unbounded), and the samples fall
+// back to a span derived from nMin, capped at a finite range.
+const tripFingerprintSpanCap = 1 << 20
+
+// tripFingerprint folds a trip model's behaviour into a key: the raw
+// bounds bits plus Ptrip sampled across (and beyond) a finite span.
+// Shared by SolveKey and FamilyKey so both key the model identically.
+func tripFingerprint(trip power.TripModel, f64 func(float64)) {
+	if trip == nil {
+		return
+	}
+	nMin, nMax := trip.Bounds()
+	f64(nMin)
+	f64(nMax)
+	span := nMax * 1.25
+	if math.IsNaN(span) || span <= 0 || span > tripFingerprintSpanCap {
+		// Unbounded or degenerate upper bound: sample around the region
+		// the lower bound makes interesting.
+		span = 4*nMin + 1
+	}
+	if math.IsNaN(span) || span <= 0 || span > tripFingerprintSpanCap {
+		span = tripFingerprintSpanCap
+	}
+	for i := 0; i < tripFingerprintSamples; i++ {
+		n := span * float64(i) / float64(tripFingerprintSamples-1)
+		f64(trip.Ptrip(n))
+	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -302,4 +303,43 @@ func exampleInstance() ([]AgentClass, Config) {
 	cfg.N = 8
 	cfg.Trip = power.LinearTripModel{NMin: 2, NMax: 6}
 	return []AgentClass{{Name: "demo", Count: 8, Density: d}}, cfg
+}
+
+// unboundedTrip is a trip model whose breaker can always trip more
+// (nMax = +Inf), with a tunable curve. Before the sample-span clamp,
+// SolveKey's fingerprint sampled such models at n = 0*Inf = NaN and
+// +Inf — the same degenerate points for every unbounded model — so
+// distinct curves collided onto one key.
+type unboundedTrip struct{ scale float64 }
+
+func (m unboundedTrip) Ptrip(n float64) float64 {
+	switch {
+	case math.IsNaN(n):
+		return 0
+	case math.IsInf(n, 1):
+		return 1
+	}
+	p := n / m.scale
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+func (m unboundedTrip) Bounds() (float64, float64) { return 1, math.Inf(1) }
+
+func TestSolveKeyUnboundedTripModelsDistinct(t *testing.T) {
+	classes, cfg := cacheInstance(t, 0, 40)
+	a, b := cfg, cfg
+	a.Trip = unboundedTrip{scale: 100}
+	b.Trip = unboundedTrip{scale: 200}
+	if SolveKey(classes, a) == SolveKey(classes, b) {
+		t.Error("distinct unbounded trip models collide onto one SolveKey")
+	}
+	// Same scale must still agree, regardless of bounds.
+	c := cfg
+	c.Trip = unboundedTrip{scale: 100}
+	if SolveKey(classes, a) != SolveKey(classes, c) {
+		t.Error("identical unbounded trip models got distinct SolveKeys")
+	}
 }

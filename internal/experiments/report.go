@@ -130,13 +130,14 @@ func Registry() map[string]Generator {
 		"fig12":  Figure12,
 		"fig13":  Figure13,
 		// Extensions beyond the paper's artifacts (§6.4 made concrete).
-		"ext-adaptive":  ExtAdaptive,
-		"ext-coopmulti": ExtCoopMulti,
-		"ext-deviation": ExtDeviation,
-		"ext-folk":      ExtFolk,
-		"ext-misreport": ExtMisreport,
-		"ext-physical":  ExtPhysical,
-		"ext-physgame":  ExtPhysGame,
+		"ext-adaptive":     ExtAdaptive,
+		"ext-coopmulti":    ExtCoopMulti,
+		"ext-deviation":    ExtDeviation,
+		"ext-folk":         ExtFolk,
+		"ext-misreport":    ExtMisreport,
+		"ext-neighborwarm": ExtNeighborWarm,
+		"ext-physical":     ExtPhysical,
+		"ext-physgame":     ExtPhysGame,
 		// Ablations of this reproduction's design choices.
 		"abl-tripmodel":  AblTripModel,
 		"abl-damping":    AblDamping,

@@ -35,21 +35,41 @@ import (
 // one.
 var logMagic = [4]byte{'S', 'G', 'L', 1}
 
-// maxRecordPayload bounds one record, mirroring the wire protocol's
-// frame guard: a declared length beyond it marks a corrupt prefix, and
-// scanning stops rather than allocating gigabytes from garbage bytes.
-const maxRecordPayload = 1 << 24
+// MaxRecordPayload bounds one record, mirroring the wire protocol's
+// 1 MiB frame guard (internal/coord, asserted equal by test): a
+// declared length beyond it marks a corrupt prefix, and scanning stops
+// rather than allocating gigabytes from garbage bytes.
+const MaxRecordPayload = 1 << 20
 
 // crcTable is Castagnoli, the hardware-accelerated polynomial.
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
+// logFile is the slice of *os.File the log needs. An interface so tests
+// can inject write failures; production logs always hold an *os.File.
+type logFile interface {
+	io.Writer
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+	Sync() error
+	Close() error
+}
+
 // Log is an append-only record log. One writer process at a time; Append
 // is safe for concurrent use within it.
+//
+// A failed or short Append is repaired in place: the file is truncated
+// back to the end of the last good record, so the partial frame can
+// never sit in front of later appends (which the replay scan — which
+// stops at the first corrupt record — would then silently discard).
+// When even that repair fails the log is marked broken and every later
+// Append errors loudly rather than poisoning the tail.
 type Log struct {
-	mu   sync.Mutex
-	f    *os.File
-	buf  []byte // scratch for framing appends
-	path string
+	mu     sync.Mutex
+	f      logFile
+	off    int64  // offset just past the last good record
+	broken bool   // an append failed and the tail could not be repaired
+	buf    []byte // scratch for framing appends
+	path   string
 }
 
 // OpenLog opens (creating if absent) the log at path and returns the
@@ -81,8 +101,9 @@ func OpenLog(path string) (*Log, [][]byte, error) {
 			f.Close()
 			return nil, nil, err
 		}
+		good = int64(len(logMagic))
 	}
-	return &Log{f: f, path: path}, records, nil
+	return &Log{f: f, off: good, path: path}, records, nil
 }
 
 // scanLog reads the usable prefix: the records that frame and checksum
@@ -115,7 +136,7 @@ func scanLog(f *os.File) (records [][]byte, good int64, err error) {
 // complete, checksummed record (end of usable prefix).
 func nextRecord(b []byte) (payload []byte, n int) {
 	length, ln := binary.Uvarint(b)
-	if ln <= 0 || length > maxRecordPayload {
+	if ln <= 0 || length > MaxRecordPayload {
 		return nil, 0
 	}
 	total := ln + 4 + int(length)
@@ -133,8 +154,15 @@ func nextRecord(b []byte) (payload []byte, n int) {
 // Append frames payload (uvarint length, CRC-32C, bytes) and writes it.
 // The OS page cache makes the record visible to a restarted process
 // even after a kill; call Sync for power-loss durability.
+//
+// On a failed or short write the partial record is rolled back
+// (truncate + reseek to the last good offset) before returning the
+// error, so the next Append extends a clean tail. If the rollback
+// itself fails the log is marked broken: the on-disk tail now hides
+// every record appended behind the partial frame from the replay scan,
+// and failing every later Append loudly beats discarding them silently.
 func (l *Log) Append(payload []byte) error {
-	if len(payload) > maxRecordPayload {
+	if len(payload) > MaxRecordPayload {
 		return fmt.Errorf("persist: record of %d bytes exceeds limit", len(payload))
 	}
 	l.mu.Lock()
@@ -142,13 +170,30 @@ func (l *Log) Append(payload []byte) error {
 	if l.f == nil {
 		return errors.New("persist: log is closed")
 	}
+	if l.broken {
+		return errors.New("persist: log is broken (unrepaired partial append)")
+	}
 	b := l.buf[:0]
 	b = binary.AppendUvarint(b, uint64(len(payload)))
 	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(payload, crcTable))
 	b = append(b, payload...)
 	l.buf = b
-	_, err := l.f.Write(b)
-	return err
+	n, err := l.f.Write(b)
+	if err == nil && n < len(b) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		if n > 0 {
+			if terr := l.f.Truncate(l.off); terr != nil {
+				l.broken = true
+			} else if _, serr := l.f.Seek(l.off, io.SeekStart); serr != nil {
+				l.broken = true
+			}
+		}
+		return fmt.Errorf("persist: append: %w", err)
+	}
+	l.off += int64(n)
+	return nil
 }
 
 // Sync flushes appended records to stable storage.

@@ -2,6 +2,7 @@ package persist
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
@@ -159,7 +160,7 @@ func TestLogOversizedRecordRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l.Close()
-	if err := l.Append(make([]byte, maxRecordPayload+1)); err == nil {
+	if err := l.Append(make([]byte, MaxRecordPayload+1)); err == nil {
 		t.Fatal("oversized append succeeded")
 	}
 }
@@ -230,5 +231,96 @@ func TestDecBoundsChecked(t *testing.T) {
 	}
 	if _, err := d.Uint64(); err == nil {
 		t.Fatal("Uint64 on empty payload accepted")
+	}
+}
+
+// flakyFile wraps a logFile and fails the nth Write after writing only
+// half the bytes — the torn-append shape a full disk or a signal-
+// interrupted write produces.
+type flakyFile struct {
+	logFile
+	failIn      int // fail the Write when this reaches zero
+	failTrunc   bool
+	truncCalled bool
+}
+
+func (f *flakyFile) Write(b []byte) (int, error) {
+	f.failIn--
+	if f.failIn == 0 {
+		n, _ := f.logFile.Write(b[:len(b)/2])
+		return n, errors.New("injected write failure")
+	}
+	return f.logFile.Write(b)
+}
+
+func (f *flakyFile) Truncate(size int64) error {
+	f.truncCalled = true
+	if f.failTrunc {
+		return errors.New("injected truncate failure")
+	}
+	return f.logFile.Truncate(size)
+}
+
+// TestLogAppendFailureRepairsTail: a failed append must not poison the
+// tail. Before the fix, the partial record stayed on disk and every
+// later successful append landed behind it, silently discarded by the
+// replay scan on reopen.
+func TestLogAppendFailureRepairsTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	l, recs, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh log replayed %d records", len(recs))
+	}
+	rec1, rec3 := []byte("first record"), []byte("third record")
+	if err := l.Append(rec1); err != nil {
+		t.Fatal(err)
+	}
+	flaky := &flakyFile{logFile: l.f, failIn: 1}
+	l.f = flaky
+	if err := l.Append([]byte("second record, torn mid-write")); err == nil {
+		t.Fatal("injected write failure not surfaced")
+	}
+	if !flaky.truncCalled {
+		t.Error("failed append did not truncate the torn tail")
+	}
+	// The log repaired itself: later appends extend the good prefix.
+	if err := l.Append(rec3); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err = OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]byte{rec1, rec3}
+	if !reflect.DeepEqual(recs, want) {
+		t.Errorf("replay after torn append = %q, want %q", recs, want)
+	}
+}
+
+// TestLogAppendFailureUnrepairedBreaksLoudly: when the rollback itself
+// fails, the log must refuse later appends rather than write records
+// the replay scan will never see.
+func TestLogAppendFailureUnrepairedBreaksLoudly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	l, _, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append([]byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	l.f = &flakyFile{logFile: l.f, failIn: 1, failTrunc: true}
+	if err := l.Append([]byte("torn")); err == nil {
+		t.Fatal("injected write failure not surfaced")
+	}
+	if err := l.Append([]byte("after")); err == nil {
+		t.Fatal("append on a broken log succeeded silently")
 	}
 }

@@ -55,6 +55,14 @@ go test -race -run 'Router|Shard|Binary|Batch|Singleflight|Coalesce' ./internal/
 echo "== go test -race -run 'L1|Spill|Admit|Store|Restart|Log|Packing|Dec' ./internal/core ./internal/persist"
 go test -race -run 'L1|Spill|Admit|Store|Restart|Log|Packing|Dec' ./internal/core ./internal/persist
 
+# The neighbour tier mutates the family index and entry equilibria on
+# the cache's hit path (lazy indexing, warm-seeded inserts, eviction
+# unlinking) while readers hold no lock on the returned equilibrium;
+# the hit/Admit race regression and the whole neighbour suite run under
+# the race detector by name.
+echo "== go test -race -run 'Neighbor|HitAdmitRace' ./internal/core"
+go test -race -run 'Neighbor|HitAdmitRace' ./internal/core
+
 echo "== go test -race -run 'RouterRestart|Journal|Presolve|AutoWorkers' ./internal/coord ./internal/cluster"
 go test -race -run 'RouterRestart|Journal|Presolve|AutoWorkers' ./internal/coord ./internal/cluster
 
